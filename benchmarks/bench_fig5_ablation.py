@@ -1,0 +1,50 @@
+"""Fig. 5 — ablation studies: the RL agent and the cost-customised mapper.
+
+Paper values (Kissat preset, for reference): Ours 6 454.02 s, w/o RL
+7 329.96 s (+13.6 %), C. Mapper 9 732.64 s (+50.8 %).
+
+This benchmark runs the three Fig. 5 settings over the ablation suite:
+
+* **Ours**      — recipe + branching-complexity (cost-customised) mapping;
+* **w/o RL**    — random recipe with the same step budget + cost-customised
+  mapping;
+* **C. Mapper** — the Ours recipe + conventional area-cost mapping.
+
+The expected shape is that Ours needs no more total decisions than either
+ablation, with the conventional mapper being the larger regression — exactly
+the ordering reported in the paper.
+"""
+
+from repro.eval.ablation import run_ablation
+from repro.sat.configs import kissat_like
+
+from benchmarks.conftest import TIME_LIMIT, write_result
+
+
+def test_fig5_ablation(benchmark, ablation_suite):
+    """Regenerate Fig. 5 (both ablations) with the kissat_like preset."""
+
+    def run():
+        return run_ablation(
+            ablation_suite,
+            config=kissat_like(),
+            solver_name="kissat_like",
+            time_limit=TIME_LIMIT,
+            max_steps=6,
+            random_seed=3,
+        )
+
+    ablation = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ours_time = ablation.total_runtime("Ours")
+    summary = ablation.summary_text()
+    for setting in ("w/o RL", "C. Mapper"):
+        other = ablation.total_runtime(setting)
+        delta = 100.0 * (other - ours_time) / ours_time if ours_time else 0.0
+        summary += f"\n{setting} is {delta:+.1f} % vs Ours (paper: w/o RL +13.6 %, C. Mapper +50.8 %)"
+    write_result("fig5_ablation", summary)
+
+    # Shape assertions on solver effort (decisions are robust to timing noise).
+    ours_decisions = ablation.total_decisions("Ours")
+    assert ours_decisions <= ablation.total_decisions("C. Mapper") * 1.05
+    assert ours_decisions <= ablation.total_decisions("w/o RL") * 1.25

@@ -1,0 +1,43 @@
+"""Table I — statistics of the RL training dataset.
+
+Paper values (industrial instances, for reference):
+
+=========  ========  =========  =====  ========
+Metric     Avg.      Std.       Min.   Max.
+=========  ========  =========  =====  ========
+# Gates    4 299.06  4 328.16   60     24 178
+# PIs      43.66     25.17      6      102
+Depth      66.43     19.98      18     138
+# Clauses  10 687.28 10 801.96  131    60 294
+Time (s)   2.01      1.96       0.04   6.68
+=========  ========  =========  =====  ========
+
+This benchmark regenerates the same table for the generated training suite
+(scaled-down synthetic instances); the absolute values are smaller but the
+qualitative profile — shallow easy instances with sub-10 s baseline solving
+times — is preserved.
+"""
+
+from repro.eval.tables import dataset_statistics
+from repro.sat.configs import kissat_like
+
+from benchmarks.conftest import write_result
+
+
+def test_table1_dataset_statistics(benchmark, training_suite):
+    """Regenerate Table I on the generated training dataset."""
+
+    def build_table():
+        return dataset_statistics(training_suite, config=kissat_like(),
+                                  time_limit=30.0)
+
+    stats = benchmark.pedantic(build_table, rounds=1, iterations=1)
+
+    write_result("table1_dataset", stats.to_text())
+
+    # Shape checks: the suite is non-trivial and "easy" in the Table I sense.
+    assert stats.num_instances == len(training_suite)
+    assert stats.metrics["# Gates"]["avg"] > 50
+    assert stats.metrics["# Clauses"]["avg"] > 100
+    assert stats.metrics["Time (s)"]["max"] <= 30.0
+    assert stats.metrics["# PIs"]["min"] >= 1

@@ -1,0 +1,79 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on a scaled-down
+instance suite (see DESIGN.md for the substitution rationale).  The suites
+and limits are chosen so the whole harness completes in tens of minutes on a
+laptop with the pure-Python CDCL solver; set ``REPRO_BENCH_SCALE=large`` to
+use bigger suites and longer time limits.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.benchgen import (
+    adder_equivalence_miter,
+    generate_training_suite,
+    multiplier_commutativity_miter,
+)
+from repro.benchgen.suite import CsatInstance
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-instance solver wall-clock limit (the paper uses 1000 s; scaled down).
+TIME_LIMIT = 90.0 if os.environ.get("REPRO_BENCH_SCALE") != "large" else 600.0
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a harness summary under ``benchmarks/results/`` and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def _evaluation_instances() -> list[CsatInstance]:
+    """The Fig. 4 / Fig. 5 evaluation suite.
+
+    A spread of LEC instances from easy to hard, dominated by the multiplier
+    commutativity miter — the family where the baseline encoding struggles
+    most, mirroring the hard industrial instances of the paper.
+    """
+    large = os.environ.get("REPRO_BENCH_SCALE") == "large"
+    specs = [
+        ("adder16_eq", adder_equivalence_miter(16), "unsat"),
+        ("adder24_eq", adder_equivalence_miter(24), "unsat"),
+        ("adder16_buggy", adder_equivalence_miter(16, mutated=True, seed=7), "sat"),
+        ("mult5_commut", multiplier_commutativity_miter(5), "unsat"),
+        ("mult6_commut", multiplier_commutativity_miter(6), "unsat"),
+    ]
+    if large:
+        specs.append(("mult6_buggy",
+                      multiplier_commutativity_miter(6, mutated=True, seed=11), "sat"))
+        specs.append(("adder32_eq", adder_equivalence_miter(32), "unsat"))
+    return [
+        CsatInstance(name=name, aig=aig, kind="lec", expected=expected,
+                     difficulty="hard", metadata={})
+        for name, aig, expected in specs
+    ]
+
+
+@pytest.fixture(scope="session")
+def evaluation_suite() -> list[CsatInstance]:
+    return _evaluation_instances()
+
+
+@pytest.fixture(scope="session")
+def ablation_suite(evaluation_suite) -> list[CsatInstance]:
+    """A subset of the evaluation suite used for the Fig. 5 ablation."""
+    wanted = {"adder24_eq", "mult5_commut", "mult6_commut"}
+    return [instance for instance in evaluation_suite if instance.name in wanted]
+
+
+@pytest.fixture(scope="session")
+def training_suite() -> list[CsatInstance]:
+    """The Table I training dataset (paper: 200 easy instances)."""
+    size = 12 if os.environ.get("REPRO_BENCH_SCALE") != "large" else 50
+    return generate_training_suite(num_instances=size, seed=0)

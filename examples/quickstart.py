@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: preprocess one Circuit-SAT instance and compare pipelines.
+
+The script builds a small LEC instance (a ripple-carry adder checked against
+a buggy carry-select adder), runs the three pipelines of the paper —
+Baseline (direct Tseitin CNF), Comp. (size-oriented circuit preprocessing)
+and Ours (RL-style recipe + cost-customised LUT mapping) — and prints the
+CNF sizes, solver decisions ("branching times") and runtimes.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import kissat_like, run_pipeline
+from repro.benchgen import adder_equivalence_miter
+
+
+def main() -> None:
+    # A satisfiable LEC instance: the carry-select implementation contains a
+    # single injected bug, so the miter has a distinguishing input pattern.
+    instance = adder_equivalence_miter(12, mutated=True, seed=1)
+    print(f"Instance: {instance.name}  "
+          f"({instance.num_pis} PIs, {instance.num_ands} AND gates)\n")
+
+    print(f"{'pipeline':<10s} {'status':<8s} {'vars':>6s} {'clauses':>8s} "
+          f"{'decisions':>10s} {'transform':>10s} {'solve':>8s}")
+    for pipeline in ("Baseline", "Comp.", "Ours"):
+        run = run_pipeline(instance, pipeline, config=kissat_like(),
+                           time_limit=60.0)
+        print(f"{pipeline:<10s} {run.status:<8s} {run.num_vars:>6d} "
+              f"{run.num_clauses:>8d} {run.decisions:>10d} "
+              f"{run.transform_time:>9.2f}s {run.solve_time:>7.2f}s")
+
+    print("\nThe preprocessed encodings (Comp., Ours) hide the internal AIG "
+          "nodes inside LUTs,\nso they have far fewer variables; Ours "
+          "additionally minimises the branching\ncomplexity of each LUT, "
+          "which reduces the solver's decision count on hard instances.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Train the DQN synthesis agent on a small instance set.
+
+This is a scaled-down version of the paper's RL setup (Sec. IV-A trains for
+10 000 episodes on 200 industrial instances; here a handful of episodes on a
+handful of generated instances keeps the pure-Python run short).  The script
+prints the per-episode rewards — the reduction in solver decisions achieved
+by the chosen recipe — and the greedy recipes the trained agent picks.
+
+Run with:  python examples/rl_training.py            (a few minutes)
+     or:   EPISODES=30 python examples/rl_training.py  for a longer run
+"""
+
+import os
+
+from repro import DqnAgent, SynthesisEnv, train_dqn
+from repro.benchgen import generate_training_suite
+from repro.features import DeepGateEmbedder
+from repro.rl import agent_recipe
+
+
+def main() -> None:
+    episodes = int(os.environ.get("EPISODES", "8"))
+    suite = generate_training_suite(num_instances=6, seed=0)
+    print(f"Training on {len(suite)} instances for {episodes} episodes "
+          f"(T=4 synthesis steps per episode)\n")
+
+    env = SynthesisEnv(
+        max_steps=4,
+        embedder=DeepGateEmbedder(dim=32),
+        max_conflicts=10_000,
+    )
+    agent = DqnAgent(state_dim=env.state_dim, num_actions=env.num_actions,
+                     gamma=0.98, batch_size=8, seed=0)
+    agent, history = train_dqn(suite, env, agent=agent, episodes=episodes, seed=0)
+
+    print("episode  reward (decision reduction)  recipe")
+    for index, episode in enumerate(history.episode_results):
+        print(f"{index:>7d}  {episode.reward:>27.0f}  {' -> '.join(episode.recipe) or '(end)'}")
+
+    print(f"\nmean reward over the last half of training: "
+          f"{history.mean_reward(last=max(1, episodes // 2)):.1f}")
+
+    print("\nGreedy recipes chosen by the trained agent:")
+    for instance in suite[:3]:
+        recipe = agent_recipe(agent, env, instance.aig)
+        print(f"  {instance.name:<18s} {' -> '.join(recipe) or '(end immediately)'}")
+
+
+if __name__ == "__main__":
+    main()

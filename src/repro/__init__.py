@@ -1,0 +1,95 @@
+"""repro — EDA-driven preprocessing framework for Circuit-SAT solving.
+
+This library reproduces the DAC 2025 paper *"Logic Optimization Meets SAT: A
+Novel Framework for Circuit-SAT Solving"* (Shi et al.): a preprocessing
+pipeline that applies an RL-guided logic-synthesis recipe and a
+cost-customised LUT mapping to a Circuit-SAT instance before handing the
+resulting simplified CNF to a CDCL solver.
+
+Quick start::
+
+    from repro import (
+        ripple_carry_adder, lec_instance, ours_pipeline, baseline_pipeline,
+        run_pipeline, kissat_like,
+    )
+
+    instance = lec_instance(ripple_carry_adder(6), equivalent=False, seed=1)
+    baseline = run_pipeline(instance, "Baseline", config=kissat_like())
+    ours = run_pipeline(instance, "Ours", config=kissat_like())
+    print(baseline.decisions, "->", ours.decisions)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure.
+"""
+
+from repro.aig import AIG, read_aiger, read_aiger_file, write_aiger, write_aiger_file
+from repro.benchgen import (
+    atpg_instance,
+    build_miter,
+    generate_test_suite,
+    generate_training_suite,
+    lec_instance,
+    ripple_carry_adder,
+)
+from repro.cnf import Cnf, lut_netlist_to_cnf, read_dimacs, tseitin_encode, write_dimacs
+from repro.core import (
+    Preprocessor,
+    baseline_pipeline,
+    comp_pipeline,
+    ours_pipeline,
+    run_pipeline,
+)
+from repro.mapping import branching_complexity, map_aig
+from repro.rl import DqnAgent, RandomAgent, SynthesisEnv, train_dqn
+from repro.sat import CdclSolver, cadical_like, kissat_like, solve_cnf
+from repro.synthesis import apply_recipe, balance, refactor, resub, rewrite
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # Circuit representation
+    "AIG",
+    "read_aiger",
+    "write_aiger",
+    "read_aiger_file",
+    "write_aiger_file",
+    # Synthesis
+    "rewrite",
+    "refactor",
+    "balance",
+    "resub",
+    "apply_recipe",
+    # Mapping
+    "map_aig",
+    "branching_complexity",
+    # CNF
+    "Cnf",
+    "tseitin_encode",
+    "lut_netlist_to_cnf",
+    "read_dimacs",
+    "write_dimacs",
+    # SAT solving
+    "CdclSolver",
+    "solve_cnf",
+    "kissat_like",
+    "cadical_like",
+    # Benchmarks
+    "ripple_carry_adder",
+    "lec_instance",
+    "atpg_instance",
+    "build_miter",
+    "generate_training_suite",
+    "generate_test_suite",
+    # RL
+    "DqnAgent",
+    "RandomAgent",
+    "SynthesisEnv",
+    "train_dqn",
+    # Core framework
+    "Preprocessor",
+    "baseline_pipeline",
+    "comp_pipeline",
+    "ours_pipeline",
+    "run_pipeline",
+]

@@ -1,0 +1,43 @@
+"""And-Inverter Graph substrate.
+
+The AIG is the central circuit representation of the framework: benchmark
+generators produce AIGs, logic-synthesis operations transform AIGs, the LUT
+mapper covers AIGs with k-input LUTs, and the Tseitin encoder converts AIGs
+directly to CNF for the Baseline pipeline.
+"""
+
+from repro.aig.aig import (
+    AIG,
+    CONST0,
+    CONST1,
+    lit,
+    lit_is_complemented,
+    lit_not,
+    lit_regular,
+    lit_var,
+)
+from repro.aig.aiger import read_aiger, write_aiger, read_aiger_file, write_aiger_file
+from repro.aig.simulate import evaluate, simulate, simulate_exhaustive, simulate_random
+from repro.aig.stats import AigStats, balance_ratio, compute_stats
+
+__all__ = [
+    "AIG",
+    "CONST0",
+    "CONST1",
+    "lit",
+    "lit_var",
+    "lit_not",
+    "lit_regular",
+    "lit_is_complemented",
+    "read_aiger",
+    "write_aiger",
+    "read_aiger_file",
+    "write_aiger_file",
+    "simulate",
+    "simulate_random",
+    "simulate_exhaustive",
+    "evaluate",
+    "AigStats",
+    "compute_stats",
+    "balance_ratio",
+]

@@ -1,0 +1,145 @@
+"""Bit-parallel simulation of AIGs.
+
+Simulation serves three purposes in the framework:
+
+* functional-equivalence checking in the test-suite (exhaustive simulation);
+* random-pattern signatures for the DeepGate2-substitute embedding
+  (:mod:`repro.features.deepgate`);
+* divisor filtering during resubstitution (:mod:`repro.synthesis.resub`).
+
+Patterns are packed 64 per machine word using ``numpy.uint64`` arrays, so a
+single pass over the AIG evaluates 64 input vectors at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aig.aig import AIG, lit_is_complemented, lit_var
+from repro.errors import AigError
+
+
+def simulate(aig: AIG, pi_words: np.ndarray) -> np.ndarray:
+    """Simulate ``aig`` on packed input patterns.
+
+    ``pi_words`` has shape ``(num_pis, num_words)`` and dtype ``uint64``; bit
+    ``j`` of word ``w`` of row ``i`` is the value of PI ``i`` in pattern
+    ``64*w + j``.  The return value has shape ``(num_vars, num_words)`` and
+    holds the simulated words of every variable (the constant node is row 0,
+    all zeros).
+    """
+    pi_words = np.asarray(pi_words, dtype=np.uint64)
+    if pi_words.ndim != 2 or pi_words.shape[0] != aig.num_pis:
+        raise AigError(
+            f"pi_words must have shape (num_pis={aig.num_pis}, num_words), "
+            f"got {pi_words.shape}"
+        )
+    num_words = pi_words.shape[1]
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    values = np.zeros((aig.num_vars, num_words), dtype=np.uint64)
+    for row, pi_var in enumerate(aig.pis):
+        values[pi_var] = pi_words[row]
+    for var in aig.and_vars():
+        lit0, lit1 = aig.fanins(var)
+        word0 = values[lit_var(lit0)]
+        word1 = values[lit_var(lit1)]
+        if lit_is_complemented(lit0):
+            word0 = word0 ^ ones
+        if lit_is_complemented(lit1):
+            word1 = word1 ^ ones
+        values[var] = word0 & word1
+    return values
+
+
+def po_values(aig: AIG, values: np.ndarray) -> np.ndarray:
+    """Extract primary-output words from a full simulation array."""
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    outputs = np.zeros((aig.num_pos, values.shape[1]), dtype=np.uint64)
+    for index, po in enumerate(aig.pos):
+        word = values[lit_var(po)]
+        outputs[index] = word ^ ones if lit_is_complemented(po) else word
+    return outputs
+
+
+def simulate_random(aig: AIG, num_patterns: int = 64,
+                    seed: int = 0) -> np.ndarray:
+    """Simulate ``aig`` on pseudo-random patterns; return the full value array.
+
+    ``num_patterns`` is rounded up to a multiple of 64.
+    """
+    rng = np.random.default_rng(seed)
+    num_words = max(1, (num_patterns + 63) // 64)
+    pi_words = rng.integers(0, 2 ** 64, size=(aig.num_pis, num_words),
+                            dtype=np.uint64)
+    return simulate(aig, pi_words)
+
+
+def exhaustive_pi_words(num_pis: int) -> np.ndarray:
+    """Return packed input words enumerating all ``2**num_pis`` patterns.
+
+    Supported for up to 16 PIs (65 536 patterns = 1 024 words).
+    """
+    if num_pis > 16:
+        raise AigError("exhaustive simulation supports at most 16 primary inputs")
+    num_patterns = 1 << num_pis
+    num_words = max(1, num_patterns // 64)
+    pi_words = np.zeros((num_pis, num_words), dtype=np.uint64)
+    for pattern in range(num_patterns):
+        word_index, bit_index = divmod(pattern, 64)
+        for pi_index in range(num_pis):
+            if (pattern >> pi_index) & 1:
+                pi_words[pi_index, word_index] |= np.uint64(1) << np.uint64(bit_index)
+    return pi_words
+
+
+def simulate_exhaustive(aig: AIG) -> np.ndarray:
+    """Simulate every input pattern (requires at most 16 PIs)."""
+    return simulate(aig, exhaustive_pi_words(aig.num_pis))
+
+
+def po_truth_tables(aig: AIG) -> list[int]:
+    """Return the complete truth table of every PO as a bit-packed integer.
+
+    Bit ``i`` of the result corresponds to the input minterm ``i`` with PI 0
+    as the least-significant bit.  Requires at most 16 PIs.
+    """
+    values = simulate_exhaustive(aig)
+    outputs = po_values(aig, values)
+    num_patterns = 1 << aig.num_pis
+    tables = []
+    for row in outputs:
+        table = 0
+        for word_index, word in enumerate(row):
+            table |= int(word) << (64 * word_index)
+        mask = (1 << num_patterns) - 1
+        tables.append(table & mask)
+    return tables
+
+
+def evaluate(aig: AIG, assignment: dict[int, bool] | list[bool]) -> list[bool]:
+    """Evaluate the AIG on one concrete input assignment.
+
+    ``assignment`` is either a list ordered like ``aig.pis`` or a mapping from
+    PI variable index to Boolean value.  Returns one Boolean per PO.
+    """
+    if isinstance(assignment, dict):
+        ordered = [bool(assignment[pi]) for pi in aig.pis]
+    else:
+        if len(assignment) != aig.num_pis:
+            raise AigError(
+                f"assignment has {len(assignment)} values for {aig.num_pis} inputs"
+            )
+        ordered = [bool(v) for v in assignment]
+    values = [False] * aig.num_vars
+    for row, pi_var in enumerate(aig.pis):
+        values[pi_var] = ordered[row]
+    for var in aig.and_vars():
+        lit0, lit1 = aig.fanins(var)
+        val0 = values[lit_var(lit0)] ^ lit_is_complemented(lit0)
+        val1 = values[lit_var(lit1)] ^ lit_is_complemented(lit1)
+        values[var] = val0 and val1
+    results = []
+    for po in aig.pos:
+        value = values[lit_var(po)] ^ lit_is_complemented(po)
+        results.append(bool(value))
+    return results

@@ -1,0 +1,78 @@
+"""Structural statistics of AIGs.
+
+These statistics feed both the RL state features (Sec. III-B2 of the paper)
+and the dataset statistics table (Table I).  The *balance ratio* implements
+Eq. (1): the average, over all AND gates, of the normalised depth difference
+of the two fanins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.aig import AIG, lit_var
+
+
+@dataclass(frozen=True)
+class AigStats:
+    """A bundle of structural statistics for one AIG."""
+
+    num_pis: int
+    num_pos: int
+    num_ands: int
+    num_inverters: int
+    num_wires: int
+    depth: int
+    balance_ratio: float
+
+    @property
+    def num_gates(self) -> int:
+        """Total gate count: AND nodes plus explicit inverters."""
+        return self.num_ands + self.num_inverters
+
+    @property
+    def and_fraction(self) -> float:
+        """Proportion of AND gates among all gates (paper state feature)."""
+        total = self.num_gates
+        return self.num_ands / total if total else 0.0
+
+    @property
+    def not_fraction(self) -> float:
+        """Proportion of NOT gates (inverters) among all gates."""
+        total = self.num_gates
+        return self.num_inverters / total if total else 0.0
+
+
+def balance_ratio(aig: AIG) -> float:
+    """Compute the average balance ratio of Eq. (1).
+
+    For every AND gate with fanin depths ``d1`` and ``d2`` the contribution is
+    ``|d1 - d2| / max(d1, d2)``; gates whose fanins are both at depth 0
+    contribute 0.  The result is the average over all AND gates (0.0 for an
+    AIG without AND gates).
+    """
+    levels = aig.levels()
+    total = 0.0
+    count = 0
+    for var in aig.and_vars():
+        lit0, lit1 = aig.fanins(var)
+        depth0 = levels[lit_var(lit0)]
+        depth1 = levels[lit_var(lit1)]
+        count += 1
+        deepest = max(depth0, depth1)
+        if deepest > 0:
+            total += abs(depth0 - depth1) / deepest
+    return total / count if count else 0.0
+
+
+def compute_stats(aig: AIG) -> AigStats:
+    """Compute the full statistics bundle for ``aig``."""
+    return AigStats(
+        num_pis=aig.num_pis,
+        num_pos=aig.num_pos,
+        num_ands=aig.num_ands,
+        num_inverters=aig.num_inverters(),
+        num_wires=aig.num_wires(),
+        depth=aig.depth(),
+        balance_ratio=balance_ratio(aig),
+    )

@@ -1,0 +1,58 @@
+"""Benchmark-instance generators (the industrial-benchmark substitute).
+
+The paper evaluates on industrial logic-equivalence-checking (LEC) and
+automatic-test-pattern-generation (ATPG) instances.  Those circuits are not
+redistributable, so this package generates synthetic instances with the same
+construction recipe the paper describes:
+
+* datapath circuits (adders, multipliers, comparators, ALUs, MUX trees) play
+  the role of the industrial designs;
+* LEC instances XOR the outputs of two functionally related circuits — an
+  optimised copy for UNSAT (equivalent) cases, a mutated copy for SAT
+  (non-equivalent) cases;
+* ATPG instances XOR a fault-free circuit against a stuck-at-faulted copy,
+  so a satisfying assignment is a test pattern for the fault.
+"""
+
+from repro.benchgen.atpg import atpg_instance, inject_stuck_at
+from repro.benchgen.datapath import (
+    array_multiplier,
+    carry_select_adder,
+    comparator,
+    mux_tree,
+    parity_tree,
+    random_alu,
+    ripple_carry_adder,
+)
+from repro.benchgen.lec import (
+    adder_equivalence_miter,
+    build_miter,
+    lec_instance,
+    multiplier_commutativity_miter,
+    mutate_aig,
+)
+from repro.benchgen.suite import (
+    CsatInstance,
+    generate_test_suite,
+    generate_training_suite,
+)
+
+__all__ = [
+    "ripple_carry_adder",
+    "carry_select_adder",
+    "array_multiplier",
+    "comparator",
+    "mux_tree",
+    "parity_tree",
+    "random_alu",
+    "build_miter",
+    "lec_instance",
+    "mutate_aig",
+    "adder_equivalence_miter",
+    "multiplier_commutativity_miter",
+    "atpg_instance",
+    "inject_stuck_at",
+    "CsatInstance",
+    "generate_training_suite",
+    "generate_test_suite",
+]

@@ -1,0 +1,71 @@
+"""Automatic-test-pattern-generation (ATPG) instance construction.
+
+Following the paper (Sec. IV-A): a stuck-at fault is injected into a copy of
+the circuit and the faulty and fault-free circuits are compared through XOR
+gates.  A satisfying assignment of the resulting CSAT instance is a test
+pattern that detects the fault; unsatisfiability means the fault is
+undetectable (redundant logic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aig.aig import AIG, CONST0, CONST1, lit_is_complemented, lit_not, lit_var
+from repro.benchgen.lec import build_miter
+from repro.errors import BenchmarkError
+
+
+def inject_stuck_at(aig: AIG, node_var: int, stuck_value: int) -> AIG:
+    """Return a copy of ``aig`` with ``node_var`` stuck at ``stuck_value``.
+
+    The faulted node's output is replaced by the constant everywhere it is
+    used (both AND fanins and primary outputs).  ``node_var`` may be a
+    primary input or an AND node.
+    """
+    if stuck_value not in (0, 1):
+        raise BenchmarkError("stuck_value must be 0 or 1")
+    if node_var <= 0 or node_var >= aig.num_vars:
+        raise BenchmarkError(f"node {node_var} does not exist")
+    constant = CONST1 if stuck_value else CONST0
+
+    faulty = AIG(name=f"{aig.name}_sa{stuck_value}_n{node_var}")
+    mapping: dict[int, int] = {0: 0}
+    for pi_var, pi_name in zip(aig.pis, aig.pi_names):
+        mapping[pi_var] = faulty.add_pi(pi_name)
+    if aig.is_pi(node_var):
+        mapping[node_var] = constant
+
+    def translate(literal: int) -> int:
+        mapped = mapping[lit_var(literal)]
+        return lit_not(mapped) if lit_is_complemented(literal) else mapped
+
+    for var in aig.and_vars():
+        lit0, lit1 = aig.fanins(var)
+        result = faulty.add_and(translate(lit0), translate(lit1))
+        mapping[var] = constant if var == node_var else result
+    for po, po_name in zip(aig.pos, aig.po_names):
+        faulty.add_po(translate(po), po_name)
+    return faulty
+
+
+def atpg_instance(circuit: AIG, seed: int = 0,
+                  stuck_value: int | None = None,
+                  node_var: int | None = None) -> AIG:
+    """Build an ATPG CSAT instance for a (randomly chosen) stuck-at fault.
+
+    The returned miter is satisfiable iff the fault is testable; the
+    satisfying assignments are exactly the test patterns for the fault.
+    """
+    rng = np.random.default_rng(seed)
+    candidates = list(circuit.and_vars()) or list(circuit.pis)
+    if not candidates:
+        raise BenchmarkError("circuit has no nodes to fault")
+    if node_var is None:
+        node_var = int(candidates[rng.integers(len(candidates))])
+    if stuck_value is None:
+        stuck_value = int(rng.integers(2))
+    faulty = inject_stuck_at(circuit, node_var, stuck_value)
+    miter = build_miter(circuit, faulty,
+                        name=f"atpg_{circuit.name}_n{node_var}_sa{stuck_value}")
+    return miter

@@ -1,0 +1,188 @@
+"""Synthetic datapath circuit generators.
+
+These circuits stand in for the industrial designs behind the paper's LEC and
+ATPG instances.  They are deliberately arithmetic/XOR-rich — adders,
+multipliers and comparators are exactly the structures that make miters hard
+for CNF solvers and that the cost-customised LUT mapper targets.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import AIG, CONST0
+from repro.errors import BenchmarkError
+
+
+def _check_width(width: int, minimum: int = 1) -> None:
+    if width < minimum:
+        raise BenchmarkError(f"width must be at least {minimum}, got {width}")
+
+
+def _add_word_inputs(aig: AIG, prefix: str, width: int) -> list[int]:
+    return [aig.add_pi(f"{prefix}{index}") for index in range(width)]
+
+
+def _full_adder(aig: AIG, a: int, b: int, carry: int) -> tuple[int, int]:
+    """Return (sum, carry_out) literals of a full adder."""
+    partial = aig.add_xor(a, b)
+    total = aig.add_xor(partial, carry)
+    carry_out = aig.add_or(aig.add_and(a, b), aig.add_and(partial, carry))
+    return total, carry_out
+
+
+def ripple_carry_adder(width: int = 8, name: str | None = None) -> AIG:
+    """A ``width``-bit ripple-carry adder: POs are sum bits plus carry-out."""
+    _check_width(width)
+    aig = AIG(name=name or f"rca{width}")
+    a_bits = _add_word_inputs(aig, "a", width)
+    b_bits = _add_word_inputs(aig, "b", width)
+    carry = CONST0
+    for index in range(width):
+        total, carry = _full_adder(aig, a_bits[index], b_bits[index], carry)
+        aig.add_po(total, f"sum{index}")
+    aig.add_po(carry, "cout")
+    return aig
+
+
+def carry_select_adder(width: int = 8, block: int = 4, name: str | None = None) -> AIG:
+    """A carry-select adder: same function as the ripple adder, different structure.
+
+    Each block is computed twice (carry-in 0 and carry-in 1) and the real
+    carry selects between them, giving a structurally distinct but
+    functionally equivalent implementation — ideal for building equivalent
+    (UNSAT) LEC miters.
+    """
+    _check_width(width)
+    if block < 1:
+        raise BenchmarkError("block size must be at least 1")
+    aig = AIG(name=name or f"csa{width}")
+    a_bits = _add_word_inputs(aig, "a", width)
+    b_bits = _add_word_inputs(aig, "b", width)
+    carry = CONST0
+    index = 0
+    while index < width:
+        end = min(index + block, width)
+        # Compute the block twice, with carry-in fixed to 0 and to 1.
+        sums0, sums1 = [], []
+        carry0, carry1 = CONST0, 1  # literal 1 is constant true
+        for position in range(index, end):
+            total0, carry0 = _full_adder(aig, a_bits[position], b_bits[position], carry0)
+            total1, carry1 = _full_adder(aig, a_bits[position], b_bits[position], carry1)
+            sums0.append(total0)
+            sums1.append(total1)
+        for offset, (total0, total1) in enumerate(zip(sums0, sums1)):
+            aig.add_po(aig.add_mux(carry, total1, total0), f"sum{index + offset}")
+        carry = aig.add_mux(carry, carry1, carry0)
+        index = end
+    aig.add_po(carry, "cout")
+    return aig
+
+
+def array_multiplier(width: int = 4, name: str | None = None) -> AIG:
+    """A ``width x width`` array multiplier; POs are the ``2 * width`` product bits."""
+    _check_width(width)
+    aig = AIG(name=name or f"mult{width}")
+    a_bits = _add_word_inputs(aig, "a", width)
+    b_bits = _add_word_inputs(aig, "b", width)
+    # Partial products.
+    columns: list[list[int]] = [[] for _ in range(2 * width)]
+    for i, a_bit in enumerate(a_bits):
+        for j, b_bit in enumerate(b_bits):
+            columns[i + j].append(aig.add_and(a_bit, b_bit))
+    # Column compression with full/half adders (carry-save style).
+    for index in range(2 * width):
+        column = columns[index]
+        while len(column) > 1:
+            if len(column) >= 3:
+                a, b, c = column.pop(), column.pop(), column.pop()
+                total, carry = _full_adder(aig, a, b, c)
+            else:
+                a, b = column.pop(), column.pop()
+                total = aig.add_xor(a, b)
+                carry = aig.add_and(a, b)
+            column.append(total)
+            if index + 1 < 2 * width:
+                columns[index + 1].append(carry)
+        columns[index] = column
+    for index in range(2 * width):
+        literal = columns[index][0] if columns[index] else CONST0
+        aig.add_po(literal, f"p{index}")
+    return aig
+
+
+def comparator(width: int = 8, operation: str = "lt", name: str | None = None) -> AIG:
+    """An unsigned comparator: ``lt`` (a < b), ``eq`` (a == b) or ``le``."""
+    _check_width(width)
+    if operation not in ("lt", "eq", "le"):
+        raise BenchmarkError(f"unknown comparator operation {operation!r}")
+    aig = AIG(name=name or f"cmp_{operation}{width}")
+    a_bits = _add_word_inputs(aig, "a", width)
+    b_bits = _add_word_inputs(aig, "b", width)
+    equal = 1  # constant true
+    less = CONST0
+    # Iterate from the most significant bit down.
+    for index in range(width - 1, -1, -1):
+        bit_equal = aig.add_xnor(a_bits[index], b_bits[index])
+        bit_less = aig.add_and(a_bits[index] ^ 1, b_bits[index])
+        less = aig.add_or(less, aig.add_and(equal, bit_less))
+        equal = aig.add_and(equal, bit_equal)
+    if operation == "lt":
+        aig.add_po(less, "lt")
+    elif operation == "eq":
+        aig.add_po(equal, "eq")
+    else:
+        aig.add_po(aig.add_or(less, equal), "le")
+    return aig
+
+
+def mux_tree(select_bits: int = 3, name: str | None = None) -> AIG:
+    """A ``2**select_bits``-to-1 multiplexer tree."""
+    _check_width(select_bits)
+    aig = AIG(name=name or f"mux{select_bits}")
+    selects = _add_word_inputs(aig, "s", select_bits)
+    data = _add_word_inputs(aig, "d", 1 << select_bits)
+    level = data
+    for select in selects:
+        level = [aig.add_mux(select, level[2 * i + 1], level[2 * i])
+                 for i in range(len(level) // 2)]
+    aig.add_po(level[0], "out")
+    return aig
+
+
+def parity_tree(width: int = 16, name: str | None = None) -> AIG:
+    """A ``width``-input parity (XOR) tree — the XOR-richest possible circuit."""
+    _check_width(width, minimum=2)
+    aig = AIG(name=name or f"parity{width}")
+    level = _add_word_inputs(aig, "x", width)
+    while len(level) > 1:
+        next_level = [aig.add_xor(level[i], level[i + 1])
+                      for i in range(0, len(level) - 1, 2)]
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    aig.add_po(level[0], "parity")
+    return aig
+
+
+def random_alu(width: int = 4, name: str | None = None) -> AIG:
+    """A small ALU: two select bits choose between ADD, AND, OR and XOR."""
+    _check_width(width)
+    aig = AIG(name=name or f"alu{width}")
+    select0 = aig.add_pi("op0")
+    select1 = aig.add_pi("op1")
+    a_bits = _add_word_inputs(aig, "a", width)
+    b_bits = _add_word_inputs(aig, "b", width)
+
+    add_bits = []
+    carry = CONST0
+    for index in range(width):
+        total, carry = _full_adder(aig, a_bits[index], b_bits[index], carry)
+        add_bits.append(total)
+    and_bits = [aig.add_and(a, b) for a, b in zip(a_bits, b_bits)]
+    or_bits = [aig.add_or(a, b) for a, b in zip(a_bits, b_bits)]
+    xor_bits = [aig.add_xor(a, b) for a, b in zip(a_bits, b_bits)]
+
+    for index in range(width):
+        low = aig.add_mux(select0, and_bits[index], add_bits[index])
+        high = aig.add_mux(select0, xor_bits[index], or_bits[index])
+        aig.add_po(aig.add_mux(select1, high, low), f"out{index}")
+    return aig

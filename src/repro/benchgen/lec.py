@@ -1,0 +1,164 @@
+"""Logic-equivalence-checking (LEC) instance construction.
+
+Following the paper (Sec. IV-A): two circuits with identical PI interfaces
+are compared by XOR-ing corresponding primary outputs and OR-ing the
+differences into a single output — the resulting CSAT instance is satisfiable
+iff the circuits are *not* equivalent.
+
+* **Equivalent (UNSAT) instances** pair a circuit with a synthesised or
+  structurally different implementation of the same function.
+* **Non-equivalent (SAT) instances** pair a circuit with a mutated copy
+  (one gate's fanin polarity flipped or a gate function changed), which
+  mirrors real LEC failures caused by design bugs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aig.aig import AIG, lit_is_complemented, lit_not, lit_var
+from repro.errors import BenchmarkError
+from repro.synthesis.recipe import apply_recipe
+
+
+def _instantiate(source: AIG, target: AIG, input_literals: list[int]) -> list[int]:
+    """Copy ``source`` into ``target`` reusing ``input_literals`` as its PIs.
+
+    Returns the PO literals of the copied circuit inside ``target``.
+    """
+    if len(input_literals) != source.num_pis:
+        raise BenchmarkError("input literal count does not match source PIs")
+    mapping: dict[int, int] = {0: 0}
+    for pi_var, literal in zip(source.pis, input_literals):
+        mapping[pi_var] = literal
+
+    def translate(literal: int) -> int:
+        mapped = mapping[lit_var(literal)]
+        return lit_not(mapped) if lit_is_complemented(literal) else mapped
+
+    for var in source.and_vars():
+        lit0, lit1 = source.fanins(var)
+        mapping[var] = target.add_and(translate(lit0), translate(lit1))
+    return [translate(po) for po in source.pos]
+
+
+def build_miter(first: AIG, second: AIG, name: str = "miter") -> AIG:
+    """Return the miter of two circuits with identical PI/PO interfaces.
+
+    The miter has the shared primary inputs, XORs corresponding outputs and
+    ORs all differences into a single primary output, which is 1 exactly for
+    input assignments where the circuits disagree.
+    """
+    if first.num_pis != second.num_pis:
+        raise BenchmarkError(
+            f"PI counts differ: {first.num_pis} vs {second.num_pis}")
+    if first.num_pos != second.num_pos:
+        raise BenchmarkError(
+            f"PO counts differ: {first.num_pos} vs {second.num_pos}")
+    miter = AIG(name=name)
+    inputs = [miter.add_pi(pi_name) for pi_name in first.pi_names]
+    outputs_first = _instantiate(first, miter, inputs)
+    outputs_second = _instantiate(second, miter, inputs)
+    differences = [miter.add_xor(a, b)
+                   for a, b in zip(outputs_first, outputs_second)]
+    miter.add_po(miter.add_or_multi(differences), "diff")
+    return miter
+
+
+def mutate_aig(aig: AIG, seed: int = 0) -> AIG:
+    """Return a copy of ``aig`` with one random structural mutation.
+
+    The mutation flips the polarity of one AND-node fanin, which almost
+    always changes the function of at least one primary output — producing a
+    realistic "buggy revision" for SAT LEC instances.
+    """
+    if aig.num_ands == 0:
+        raise BenchmarkError("cannot mutate an AIG without AND nodes")
+    rng = np.random.default_rng(seed)
+    and_nodes = list(aig.and_vars())
+    target_var = int(and_nodes[rng.integers(len(and_nodes))])
+    flip_second = bool(rng.integers(2))
+
+    mutated = AIG(name=f"{aig.name}_mut{seed}")
+    mapping: dict[int, int] = {0: 0}
+    for pi_var, pi_name in zip(aig.pis, aig.pi_names):
+        mapping[pi_var] = mutated.add_pi(pi_name)
+
+    def translate(literal: int) -> int:
+        mapped = mapping[lit_var(literal)]
+        return lit_not(mapped) if lit_is_complemented(literal) else mapped
+
+    for var in aig.and_vars():
+        lit0, lit1 = aig.fanins(var)
+        new0, new1 = translate(lit0), translate(lit1)
+        if var == target_var:
+            if flip_second:
+                new1 = lit_not(new1)
+            else:
+                new0 = lit_not(new0)
+        mapping[var] = mutated.add_and(new0, new1)
+    for po, po_name in zip(aig.pos, aig.po_names):
+        mutated.add_po(translate(po), po_name)
+    return mutated
+
+
+def adder_equivalence_miter(width: int, mutated: bool = False, seed: int = 0) -> AIG:
+    """LEC miter between a ripple-carry and a carry-select adder.
+
+    The two adders compute the same function with very different structures,
+    so the miter does not collapse under structural hashing — this is the
+    realistic "equivalence of two implementations" LEC case.  With
+    ``mutated=True`` the carry-select adder receives one random mutation,
+    turning the instance satisfiable.
+    """
+    from repro.benchgen.datapath import carry_select_adder, ripple_carry_adder
+
+    first = ripple_carry_adder(width)
+    second = carry_select_adder(width)
+    if mutated:
+        second = mutate_aig(second, seed=seed)
+    kind = "neq" if mutated else "eq"
+    return build_miter(first, second, name=f"lec_adder{width}_{kind}_s{seed}")
+
+
+def multiplier_commutativity_miter(width: int, mutated: bool = False,
+                                   seed: int = 0) -> AIG:
+    """LEC miter checking ``a * b == b * a`` on array multipliers.
+
+    Commutativity miters are classic hard LEC/SAT instances: the two
+    multipliers share almost no structure because their partial-product
+    matrices are transposed.  With ``mutated=True`` one multiplier is
+    mutated, making the instance satisfiable.
+    """
+    from repro.benchgen.datapath import array_multiplier
+
+    first = array_multiplier(width)
+    swapped_source = array_multiplier(width)
+    if mutated:
+        swapped_source = mutate_aig(swapped_source, seed=seed)
+    swapped = AIG(name=f"mult{width}_swapped")
+    inputs = [swapped.add_pi(name) for name in first.pi_names]
+    operand_a, operand_b = inputs[:width], inputs[width:]
+    outputs = _instantiate(swapped_source, swapped, operand_b + operand_a)
+    for literal, name in zip(outputs, swapped_source.po_names):
+        swapped.add_po(literal, name)
+    kind = "neq" if mutated else "eq"
+    return build_miter(first, swapped, name=f"lec_mult{width}_commut_{kind}_s{seed}")
+
+
+def lec_instance(circuit: AIG, equivalent: bool, seed: int = 0,
+                 recipe: tuple[str, ...] = ("balance", "rewrite")) -> AIG:
+    """Build a LEC CSAT instance from ``circuit``.
+
+    ``equivalent=True`` compares the circuit against a synthesised copy of
+    itself (expected UNSAT); ``equivalent=False`` compares it against a
+    mutated copy (expected SAT for almost every mutation).
+    """
+    if equivalent:
+        other = apply_recipe(circuit, list(recipe))
+        kind = "eq"
+    else:
+        other = mutate_aig(circuit, seed=seed)
+        kind = "neq"
+    return build_miter(circuit, other,
+                       name=f"lec_{kind}_{circuit.name}_s{seed}")

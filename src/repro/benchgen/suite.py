@@ -1,0 +1,137 @@
+"""Training / test suite generation.
+
+The paper uses 200 easy instances (for RL training) and 300 hard instances
+(for evaluation), mixing LEC and ATPG problems at a 2:1 ratio.  This module
+generates suites with the same structure at configurable sizes — the default
+sizes are scaled down so the pure-Python CDCL solver keeps per-instance
+solving times in the sub-second to seconds range (see DESIGN.md).
+
+LEC instances come in three flavours, mirroring industrial practice:
+
+* equivalence of two structurally different implementations (ripple-carry vs
+  carry-select adders, multiplier commutativity) — expected UNSAT and the
+  main source of hardness;
+* a design against a mutated revision — expected SAT;
+* a design against a synthesised copy of itself — easy UNSAT warm-up cases.
+
+ATPG instances inject a random stuck-at fault into a datapath circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aig.aig import AIG
+from repro.benchgen.atpg import atpg_instance
+from repro.benchgen.datapath import (
+    array_multiplier,
+    comparator,
+    mux_tree,
+    parity_tree,
+    random_alu,
+    ripple_carry_adder,
+)
+from repro.benchgen.lec import (
+    adder_equivalence_miter,
+    lec_instance,
+    multiplier_commutativity_miter,
+)
+from repro.errors import BenchmarkError
+
+
+@dataclass
+class CsatInstance:
+    """One CSAT problem instance plus generation metadata."""
+
+    name: str
+    aig: AIG
+    kind: str                 # "lec" or "atpg"
+    expected: str             # "sat", "unsat" or "unknown"
+    difficulty: str           # "easy" or "hard"
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+def _scale_parameters(scale: str) -> dict[str, int]:
+    if scale == "easy":
+        return {"adder": 10, "mult": 4, "cmp": 8, "mux": 3, "parity": 12, "alu": 3}
+    if scale == "hard":
+        return {"adder": 16, "mult": 5, "cmp": 14, "mux": 4, "parity": 24, "alu": 4}
+    raise BenchmarkError(f"unknown scale {scale!r}")
+
+
+def _lec_variant(scale: str, rng: np.random.Generator,
+                 seed: int) -> tuple[AIG, str, dict[str, object]]:
+    """Build one LEC instance; returns (aig, expected, metadata)."""
+    widths = _scale_parameters(scale)
+    roll = rng.random()
+    if roll < 0.4:
+        # Equivalence of two structurally different adders (UNSAT).
+        width = widths["adder"] + int(rng.integers(0, 3))
+        aig = adder_equivalence_miter(width)
+        return aig, "unsat", {"family": "adder_equivalence", "width": width}
+    if roll < 0.65:
+        # Multiplier commutativity (UNSAT, the hard family).
+        width = widths["mult"]
+        aig = multiplier_commutativity_miter(width)
+        return aig, "unsat", {"family": "mult_commutativity", "width": width}
+    if roll < 0.9:
+        # A design against a mutated revision (SAT in almost every case).
+        width = widths["adder"]
+        aig = adder_equivalence_miter(width, mutated=True, seed=seed)
+        return aig, "unknown", {"family": "adder_mutated", "width": width}
+    # A design against a synthesised copy of itself (easy UNSAT).
+    base_pool = [
+        parity_tree(widths["parity"]),
+        comparator(widths["cmp"], operation="lt"),
+        random_alu(widths["alu"]),
+        mux_tree(widths["mux"]),
+    ]
+    base = base_pool[int(rng.integers(len(base_pool)))]
+    aig = lec_instance(base, equivalent=True)
+    return aig, "unsat", {"family": "self_equivalence", "base": base.name}
+
+
+def _atpg_variant(scale: str, rng: np.random.Generator,
+                  seed: int) -> tuple[AIG, str, dict[str, object]]:
+    widths = _scale_parameters(scale)
+    base_pool = [
+        array_multiplier(widths["mult"]),
+        ripple_carry_adder(widths["adder"]),
+        random_alu(widths["alu"]),
+    ]
+    base = base_pool[int(rng.integers(len(base_pool)))]
+    aig = atpg_instance(base, seed=seed)
+    return aig, "unknown", {"family": "stuck_at", "base": base.name}
+
+
+def _make_instance(index: int, scale: str, rng: np.random.Generator) -> CsatInstance:
+    seed = int(rng.integers(1 << 30))
+    # Paper ratio: 200 LEC / 100 ATPG instances -> two thirds LEC.
+    if rng.random() < 2.0 / 3.0:
+        aig, expected, metadata = _lec_variant(scale, rng, seed)
+        kind = "lec"
+    else:
+        aig, expected, metadata = _atpg_variant(scale, rng, seed)
+        kind = "atpg"
+    return CsatInstance(
+        name=f"{kind}_{scale}_{index:03d}",
+        aig=aig,
+        kind=kind,
+        expected=expected,
+        difficulty=scale,
+        metadata=metadata,
+    )
+
+
+def generate_training_suite(num_instances: int = 20, seed: int = 0) -> list[CsatInstance]:
+    """Generate the "easy" suite used to train the RL agent (paper: 200)."""
+    rng = np.random.default_rng(seed)
+    return [_make_instance(index, "easy", rng) for index in range(num_instances)]
+
+
+def generate_test_suite(num_instances: int = 30, seed: int = 1000) -> list[CsatInstance]:
+    """Generate the "hard" evaluation suite (paper: 300)."""
+    rng = np.random.default_rng(seed)
+    return [_make_instance(index, "hard", rng) for index in range(num_instances)]

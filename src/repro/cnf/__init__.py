@@ -1,0 +1,22 @@
+"""CNF substrate: clause databases, DIMACS I/O and circuit-to-CNF encoders.
+
+Two encoders are provided, matching the two pipelines of the paper:
+
+* :func:`repro.cnf.tseitin.tseitin_encode` — the Baseline pipeline's direct
+  AIG-to-CNF translation (one variable and three clauses per AND gate);
+* :func:`repro.cnf.lut2cnf.lut_netlist_to_cnf` — the proposed pipeline's
+  LUT-netlist encoding (one variable per LUT, one clause per ISOP cube of
+  each polarity), which hides all intermediate AIG nodes.
+"""
+
+from repro.cnf.cnf import Cnf, read_dimacs, write_dimacs
+from repro.cnf.lut2cnf import lut_netlist_to_cnf
+from repro.cnf.tseitin import tseitin_encode
+
+__all__ = [
+    "Cnf",
+    "read_dimacs",
+    "write_dimacs",
+    "tseitin_encode",
+    "lut_netlist_to_cnf",
+]

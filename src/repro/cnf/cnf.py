@@ -1,0 +1,141 @@
+"""Clause database and DIMACS serialisation.
+
+Literals follow the DIMACS convention: variables are positive integers
+1..num_vars, a negative integer denotes the negated variable, and 0 is not a
+valid literal (it is the clause terminator in the file format).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import CnfError
+
+
+class Cnf:
+    """A CNF formula: a clause list over ``num_vars`` variables."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        if num_vars < 0:
+            raise CnfError("number of variables cannot be negative")
+        self.num_vars = num_vars
+        self.clauses: list[list[int]] = []
+        #: Optional mapping from a source-circuit identifier (e.g. AIG
+        #: variable or LUT node id) to the CNF variable encoding it.
+        self.var_map: dict[int, int] = {}
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: list[int] | tuple[int, ...]) -> None:
+        """Add a clause; literals must reference existing variables."""
+        clause = list(literals)
+        if not clause:
+            raise CnfError("cannot add an empty clause explicitly; "
+                           "use a pair of contradictory unit clauses instead")
+        for literal in clause:
+            if literal == 0:
+                raise CnfError("0 is not a valid DIMACS literal")
+            if abs(literal) > self.num_vars:
+                raise CnfError(
+                    f"literal {literal} references variable beyond num_vars="
+                    f"{self.num_vars}"
+                )
+        self.clauses.append(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: dict[int, bool] | list[bool]) -> bool:
+        """Return True when ``assignment`` satisfies every clause.
+
+        ``assignment`` is either a mapping from variable index to value or a
+        list where position ``i`` holds the value of variable ``i + 1``.
+        """
+        if isinstance(assignment, list):
+            if len(assignment) < self.num_vars:
+                raise CnfError("assignment list shorter than num_vars")
+            lookup = {index + 1: bool(value) for index, value in enumerate(assignment)}
+        else:
+            lookup = {var: bool(value) for var, value in assignment.items()}
+        for clause in self.clauses:
+            satisfied = False
+            for literal in clause:
+                var = abs(literal)
+                if var not in lookup:
+                    raise CnfError(f"assignment does not cover variable {var}")
+                value = lookup[var]
+                if (literal > 0) == value:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def copy(self) -> "Cnf":
+        clone = Cnf(self.num_vars)
+        clone.clauses = [list(clause) for clause in self.clauses]
+        clone.var_map = dict(self.var_map)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Cnf(vars={self.num_vars}, clauses={self.num_clauses})"
+
+
+def write_dimacs(cnf: Cnf, path: str | Path | None = None) -> str:
+    """Serialise ``cnf`` to DIMACS text; optionally also write it to ``path``."""
+    lines = [f"p cnf {cnf.num_vars} {cnf.num_clauses}"]
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(literal) for literal in clause) + " 0")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def read_dimacs(source: str | Path) -> Cnf:
+    """Parse DIMACS text (or a file path) into a :class:`Cnf`."""
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source
+                                    and source.endswith(".cnf")):
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+    num_vars = None
+    declared_clauses = None
+    cnf = None
+    pending: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise CnfError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            cnf = Cnf(num_vars)
+            continue
+        if cnf is None:
+            raise CnfError("clause encountered before the problem line")
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                if pending:
+                    cnf.add_clause(pending)
+                    pending = []
+            else:
+                pending.append(literal)
+    if cnf is None:
+        raise CnfError("missing problem line")
+    if pending:
+        cnf.add_clause(pending)
+    if declared_clauses is not None and cnf.num_clauses != declared_clauses:
+        raise CnfError(
+            f"problem line declares {declared_clauses} clauses but "
+            f"{cnf.num_clauses} were read"
+        )
+    return cnf

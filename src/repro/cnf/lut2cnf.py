@@ -1,0 +1,86 @@
+"""CNF encoding of a LUT netlist (the proposed pipeline's final step).
+
+Each netlist node (primary input or LUT) receives one CNF variable; the AIG
+nodes hidden inside each LUT never appear in the formula.  A LUT with
+function ``f`` over fanins ``x1..xk`` and output ``y`` contributes:
+
+* for every cube ``c`` of ``ISOP(f)``: the clause ``(!c | y)`` — whenever the
+  fanins satisfy a 1-cube the output must be 1;
+* for every cube ``c`` of ``ISOP(!f)``: the clause ``(!c | !y)`` — whenever
+  the fanins satisfy a 0-cube the output must be 0.
+
+The number of clauses contributed by a LUT therefore equals its *branching
+complexity* (:func:`repro.mapping.cost.branching_complexity`), which is the
+formal link between the cost-customised mapper and the size/behaviour of the
+final CNF.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.cnf import Cnf
+from repro.errors import CnfError
+from repro.logic.isop import isop
+from repro.logic.truthtable import tt_mask
+from repro.mapping.lut import LutNetlist
+
+
+def lut_netlist_to_cnf(netlist: LutNetlist, output_mode: str = "any") -> Cnf:
+    """Encode a LUT netlist into CNF.
+
+    ``output_mode`` follows the same convention as
+    :func:`repro.cnf.tseitin.tseitin_encode` (``"any"``, ``"all"`` or
+    ``"none"``).  The returned CNF's ``var_map`` maps netlist node ids to CNF
+    variables.
+    """
+    if output_mode not in ("any", "all", "none"):
+        raise CnfError(f"unknown output mode {output_mode!r}")
+    cnf = Cnf()
+    var_map: dict[int, int] = {}
+    for pi in netlist.pis:
+        var_map[pi] = cnf.new_var()
+
+    for node in netlist.luts():
+        output = cnf.new_var()
+        var_map[node.node_id] = output
+        nvars = node.num_inputs
+        table = node.table & tt_mask(nvars)
+        if nvars == 0:
+            cnf.add_clause([output if table & 1 else -output])
+            continue
+        fanin_vars = [var_map[fanin] for fanin in node.inputs]
+        onset_cubes = isop(table, table, nvars)
+        offset_table = ~table & tt_mask(nvars)
+        offset_cubes = isop(offset_table, offset_table, nvars)
+        for cube in onset_cubes:
+            clause = _cube_to_clause(cube, fanin_vars)
+            clause.append(output)
+            cnf.add_clause(clause)
+        for cube in offset_cubes:
+            clause = _cube_to_clause(cube, fanin_vars)
+            clause.append(-output)
+            cnf.add_clause(clause)
+
+    if output_mode != "none" and netlist.pos:
+        po_literals = []
+        for node_id, complemented in netlist.pos:
+            literal = var_map[node_id]
+            po_literals.append(-literal if complemented else literal)
+        if output_mode == "any":
+            cnf.add_clause(po_literals)
+        else:
+            for literal in po_literals:
+                cnf.add_clause([literal])
+
+    cnf.var_map = var_map
+    return cnf
+
+
+def _cube_to_clause(cube, fanin_vars: list[int]) -> list[int]:
+    """Return the clause literals of the *negated* cube over CNF variables."""
+    clause = []
+    for var_index, negated in cube.literals():
+        cnf_var = fanin_vars[var_index]
+        # The cube literal is (x if not negated else !x); its negation in the
+        # clause is (!x if not negated else x).
+        clause.append(-cnf_var if not negated else cnf_var)
+    return clause

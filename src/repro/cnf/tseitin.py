@@ -1,0 +1,75 @@
+"""Direct Tseitin encoding of an AIG into CNF (the Baseline pipeline).
+
+Every AIG variable (primary input or AND node) receives one CNF variable.
+Each AND node ``c = a & b`` contributes the three standard clauses
+``(!c | a)``, ``(!c | b)`` and ``(c | !a | !b)``, with ``a``/``b`` negated
+according to edge complementation.  The primary-output constraint follows the
+CSAT convention: the instance is satisfiable iff some input assignment sets
+the output(s) to 1.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import AIG, lit_is_complemented, lit_var
+from repro.cnf.cnf import Cnf
+from repro.errors import CnfError
+
+
+def tseitin_encode(aig: AIG, output_mode: str = "any") -> Cnf:
+    """Encode ``aig`` into CNF.
+
+    ``output_mode`` selects the primary-output constraint:
+
+    * ``"any"`` — at least one PO must evaluate to 1 (the CSAT convention;
+      a single clause over all PO literals, which degenerates to a unit
+      clause for single-output instances such as miters);
+    * ``"all"`` — every PO must evaluate to 1 (one unit clause per PO);
+    * ``"none"`` — no output constraint (useful for equivalence reasoning on
+      the encoding itself).
+
+    The returned CNF carries ``var_map`` mapping each AIG variable to its CNF
+    variable.
+    """
+    if output_mode not in ("any", "all", "none"):
+        raise CnfError(f"unknown output mode {output_mode!r}")
+    cnf = Cnf()
+    var_map: dict[int, int] = {}
+    for pi_var in aig.pis:
+        var_map[pi_var] = cnf.new_var()
+    for and_var in aig.and_vars():
+        var_map[and_var] = cnf.new_var()
+
+    constant_var: int | None = None
+
+    def cnf_literal(aig_literal: int) -> int:
+        nonlocal constant_var
+        var = lit_var(aig_literal)
+        if var == 0:
+            # Constant node: materialise a variable forced to 0 on demand.
+            if constant_var is None:
+                constant_var = cnf.new_var()
+                cnf.add_clause([-constant_var])
+            base = constant_var
+        else:
+            base = var_map[var]
+        return -base if lit_is_complemented(aig_literal) else base
+
+    for and_var in aig.and_vars():
+        lit0, lit1 = aig.fanins(and_var)
+        output = var_map[and_var]
+        fanin0 = cnf_literal(lit0)
+        fanin1 = cnf_literal(lit1)
+        cnf.add_clause([-output, fanin0])
+        cnf.add_clause([-output, fanin1])
+        cnf.add_clause([output, -fanin0, -fanin1])
+
+    if output_mode != "none" and aig.pos:
+        po_literals = [cnf_literal(po) for po in aig.pos]
+        if output_mode == "any":
+            cnf.add_clause(po_literals)
+        else:
+            for literal in po_literals:
+                cnf.add_clause([literal])
+
+    cnf.var_map = var_map
+    return cnf

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AigError(ReproError):
+    """Raised for structural problems in an And-Inverter Graph."""
+
+
+class AigerFormatError(AigError):
+    """Raised when parsing or writing an AIGER file fails."""
+
+
+class TruthTableError(ReproError):
+    """Raised for invalid truth-table operations (bad arity, bad mask)."""
+
+
+class SynthesisError(ReproError):
+    """Raised when a logic-synthesis operation cannot be applied."""
+
+
+class MappingError(ReproError):
+    """Raised when LUT mapping fails (e.g. no feasible cut cover)."""
+
+
+class CnfError(ReproError):
+    """Raised for malformed CNF formulas or DIMACS files."""
+
+
+class SolverError(ReproError):
+    """Raised when the SAT solver is misused (e.g. bad literal, bad budget)."""
+
+
+class RlError(ReproError):
+    """Raised for invalid reinforcement-learning configuration or usage."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when benchmark-instance generation receives invalid parameters."""

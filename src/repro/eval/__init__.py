@@ -1,0 +1,27 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+* :mod:`repro.eval.tables`   — Table I (training-dataset statistics);
+* :mod:`repro.eval.runtime`  — Fig. 4 (runtime comparison: Baseline / Comp. /
+  Ours under two solver presets), including the headline reduction
+  percentages quoted in Sec. IV-B;
+* :mod:`repro.eval.ablation` — Fig. 5 (w/o RL and C. Mapper ablations);
+* :mod:`repro.eval.report`   — plain-text rendering of tables and cactus
+  series.
+"""
+
+from repro.eval.ablation import AblationResult, run_ablation
+from repro.eval.report import format_cactus, format_table
+from repro.eval.runtime import RuntimeComparison, cactus_points, run_comparison
+from repro.eval.tables import DatasetStatistics, dataset_statistics
+
+__all__ = [
+    "dataset_statistics",
+    "DatasetStatistics",
+    "run_comparison",
+    "RuntimeComparison",
+    "cactus_points",
+    "run_ablation",
+    "AblationResult",
+    "format_table",
+    "format_cactus",
+]

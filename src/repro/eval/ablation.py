@@ -1,0 +1,99 @@
+"""Fig. 5: ablation studies.
+
+Two ablations are compared against the full framework ("Ours"):
+
+* **w/o RL** — the synthesis recipe is chosen by a random policy with the
+  same step budget ``T`` (Sec. IV-C1);
+* **C. Mapper** — the same recipe as "Ours" but mapped with the conventional
+  area cost instead of the branching-complexity cost (Sec. IV-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchgen.suite import CsatInstance
+from repro.core.pipeline import InstanceRun, run_pipeline
+from repro.core.preprocess import Preprocessor
+from repro.eval.report import format_table
+from repro.rl.agent import RandomAgent
+from repro.rl.env import SynthesisEnv
+from repro.rl.train import agent_recipe
+from repro.sat.configs import SolverConfig
+
+
+@dataclass
+class AblationResult:
+    """Total runtimes and decisions of the three Fig. 5 settings."""
+
+    solver_name: str
+    time_limit: float | None
+    runs: dict[str, list[InstanceRun]] = field(default_factory=dict)
+
+    def total_runtime(self, setting: str) -> float:
+        total = 0.0
+        for run in self.runs.get(setting, []):
+            if run.status == "UNKNOWN" and self.time_limit is not None:
+                total += self.time_limit + run.transform_time
+            else:
+                total += run.total_time
+        return total
+
+    def total_decisions(self, setting: str) -> int:
+        return sum(run.decisions for run in self.runs.get(setting, []))
+
+    def summary_text(self) -> str:
+        headers = ["Setting", "Solved", "Total time (s)", "Total decisions"]
+        rows = []
+        for name, runs in self.runs.items():
+            solved = sum(run.status in ("SAT", "UNSAT") for run in runs)
+            rows.append([name, solved, self.total_runtime(name),
+                         self.total_decisions(name)])
+        return format_table(headers, rows,
+                            title=f"Fig. 5 ({self.solver_name}) — ablation study")
+
+
+def run_ablation(instances: list[CsatInstance],
+                 agent: object | None = None,
+                 config: SolverConfig | None = None,
+                 solver_name: str = "default",
+                 time_limit: float | None = 60.0,
+                 max_steps: int = 10,
+                 random_seed: int = 0) -> AblationResult:
+    """Run the Fig. 5 ablation over ``instances``.
+
+    ``agent`` is the trained agent used by the "Ours" and "C. Mapper"
+    settings; when ``None`` the default fixed recipe of
+    :class:`repro.core.preprocess.Preprocessor` is used instead (the relative
+    comparison between settings is preserved either way).
+    """
+    result = AblationResult(solver_name=solver_name, time_limit=time_limit)
+    random_agent = RandomAgent(seed=random_seed)
+    recipe_env = SynthesisEnv(max_steps=max_steps)
+
+    for instance in instances:
+        # Setting 1: Ours (agent or default recipe + branching-cost mapper).
+        ours_preprocessor = Preprocessor(agent=agent, use_branching_cost=True,
+                                         max_steps=max_steps)
+        ours_recipe = ours_preprocessor._choose_recipe(instance.aig)
+
+        # Setting 2: w/o RL (random recipe + branching-cost mapper).
+        random_recipe = agent_recipe(random_agent, recipe_env, instance.aig,
+                                     max_steps=max_steps)
+
+        # Setting 3: C. Mapper (same recipe as Ours + conventional mapper).
+        settings = {
+            "Ours": Preprocessor(recipe=ours_recipe, use_branching_cost=True),
+            "w/o RL": Preprocessor(recipe=random_recipe, use_branching_cost=True),
+            "C. Mapper": Preprocessor(recipe=ours_recipe, use_branching_cost=False),
+        }
+        for name, preprocessor in settings.items():
+            def encode(aig, _preprocessor=preprocessor):
+                preprocess_result = _preprocessor.preprocess(aig)
+                return preprocess_result.cnf, preprocess_result.preprocess_time
+            encode.__name__ = name
+            run = run_pipeline(instance.aig, encode, instance_name=instance.name,
+                               config=config, time_limit=time_limit)
+            run.pipeline_name = name
+            result.runs.setdefault(name, []).append(run)
+    return result

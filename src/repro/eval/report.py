@@ -1,0 +1,51 @@
+"""Plain-text rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[object]],
+                 title: str = "") -> str:
+    """Render a simple fixed-width text table."""
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(header.ljust(width)
+                             for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cactus(series: dict[str, list[tuple[float, int]]],
+                  title: str = "") -> str:
+    """Render cactus-plot series (cumulative runtime vs. instances solved).
+
+    Each series is a list of ``(cumulative_time, solved_count)`` points; the
+    rendering lists the final totals and a coarse text profile, which is the
+    closest text analogue of Fig. 4.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        if points:
+            total_time, solved = points[-1]
+        else:
+            total_time, solved = 0.0, 0
+        lines.append(f"  {name:<10s} solved {solved:4d} instances in "
+                     f"{total_time:10.2f} s total")
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

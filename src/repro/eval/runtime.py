@@ -1,0 +1,118 @@
+"""Fig. 4: runtime comparison of Baseline / Comp. / Ours.
+
+The harness runs every instance of a suite through each pipeline with a given
+solver preset, accumulating the *overall runtime* (transformation + solving,
+as in the paper) and the decision counts, and produces the cactus-plot series
+(number of solved instances versus cumulative runtime).  Timeouts are counted
+with the full time limit, matching the paper's ``T_solve = 1000 s`` rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchgen.suite import CsatInstance
+from repro.core.pipeline import InstanceRun, run_pipeline
+from repro.eval.report import format_cactus, format_table
+from repro.sat.configs import SolverConfig
+
+
+@dataclass
+class RuntimeComparison:
+    """Results of running several pipelines over a common instance suite."""
+
+    solver_name: str
+    time_limit: float | None
+    runs: dict[str, list[InstanceRun]] = field(default_factory=dict)
+
+    def total_runtime(self, pipeline: str) -> float:
+        """Total overall runtime with timeouts charged at the time limit."""
+        total = 0.0
+        for run in self.runs.get(pipeline, []):
+            if run.status == "UNKNOWN" and self.time_limit is not None:
+                total += self.time_limit + run.transform_time
+            else:
+                total += run.total_time
+        return total
+
+    def total_decisions(self, pipeline: str) -> int:
+        return sum(run.decisions for run in self.runs.get(pipeline, []))
+
+    def solved(self, pipeline: str) -> int:
+        return sum(run.status in ("SAT", "UNSAT")
+                   for run in self.runs.get(pipeline, []))
+
+    def reduction_vs(self, pipeline: str, reference: str) -> float:
+        """Percentage runtime reduction of ``pipeline`` relative to ``reference``."""
+        reference_total = self.total_runtime(reference)
+        if reference_total <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.total_runtime(pipeline) / reference_total)
+
+    def summary_text(self) -> str:
+        headers = ["Pipeline", "Solved", "Total time (s)", "Total decisions"]
+        rows = []
+        for name in self.runs:
+            rows.append([name, self.solved(name), self.total_runtime(name),
+                         self.total_decisions(name)])
+        table = format_table(headers, rows,
+                             title=f"Fig. 4 ({self.solver_name}) — runtime comparison")
+        cactus = format_cactus(
+            {name: cactus_points(runs, self.time_limit)
+             for name, runs in self.runs.items()})
+        return table + "\n" + cactus
+
+
+def cactus_points(runs: list[InstanceRun],
+                  time_limit: float | None = None) -> list[tuple[float, int]]:
+    """Return the cactus-plot series for one pipeline.
+
+    Solved instances are sorted by their runtime; the series accumulates
+    runtime on the x axis and counts solved instances on the y axis, exactly
+    like Fig. 4.  Timed-out instances never appear as solved but their
+    (limit) runtime is *not* added, matching the usual cactus convention.
+    """
+    del time_limit
+    solved_times = sorted(run.total_time for run in runs
+                          if run.status in ("SAT", "UNSAT"))
+    points = []
+    cumulative = 0.0
+    for count, runtime in enumerate(solved_times, start=1):
+        cumulative += runtime
+        points.append((cumulative, count))
+    return points
+
+
+def run_comparison(instances: list[CsatInstance],
+                   pipelines: list[str] | None = None,
+                   config: SolverConfig | None = None,
+                   solver_name: str = "default",
+                   time_limit: float | None = 60.0,
+                   pipeline_kwargs: dict[str, dict] | None = None) -> RuntimeComparison:
+    """Run ``pipelines`` (default: Baseline, Comp., Ours) over ``instances``.
+
+    ``pipeline_kwargs`` optionally maps a pipeline name to extra keyword
+    arguments for its encoder (e.g. a trained agent for "Ours").
+    """
+    from repro.core.pipeline import PIPELINES
+
+    if pipelines is None:
+        pipelines = ["Baseline", "Comp.", "Ours"]
+    pipeline_kwargs = pipeline_kwargs or {}
+    comparison = RuntimeComparison(solver_name=solver_name, time_limit=time_limit)
+    for instance in instances:
+        for name in pipelines:
+            encoder = PIPELINES[name]
+            extra = pipeline_kwargs.get(name)
+            if extra:
+                def encode(aig, _encoder=encoder, _extra=extra):
+                    return _encoder(aig, **_extra)
+                encode.__name__ = name
+                target = encode
+            else:
+                target = name
+            run = run_pipeline(instance.aig, target, instance_name=instance.name,
+                               config=config, time_limit=time_limit)
+            run.pipeline_name = name
+            comparison.runs.setdefault(name, []).append(run)
+    return comparison

@@ -1,0 +1,79 @@
+"""Table I: statistics of the (generated) training dataset.
+
+For every instance the table reports the gate count, PI count, depth, clause
+count after the baseline CNF transformation, and the baseline solving time;
+the summary rows are average, standard deviation, minimum and maximum —
+exactly the rows of Table I in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benchgen.suite import CsatInstance
+from repro.cnf.tseitin import tseitin_encode
+from repro.eval.report import format_table
+from repro.sat.configs import SolverConfig
+from repro.sat.solver import solve_cnf
+
+
+@dataclass
+class DatasetStatistics:
+    """Per-metric summary statistics of a dataset (rows of Table I)."""
+
+    metrics: dict[str, dict[str, float]]
+    num_instances: int
+
+    def to_text(self) -> str:
+        headers = ["Metric", "Avg.", "Std.", "Min.", "Max."]
+        rows = []
+        for metric, summary in self.metrics.items():
+            rows.append([metric, summary["avg"], summary["std"],
+                         summary["min"], summary["max"]])
+        return format_table(headers, rows,
+                            title=f"Table I — dataset statistics "
+                                  f"({self.num_instances} instances)")
+
+
+def _summarise(values: list[float]) -> dict[str, float]:
+    array = np.asarray(values, dtype=np.float64)
+    return {
+        "avg": float(array.mean()) if array.size else 0.0,
+        "std": float(array.std()) if array.size else 0.0,
+        "min": float(array.min()) if array.size else 0.0,
+        "max": float(array.max()) if array.size else 0.0,
+    }
+
+
+def dataset_statistics(instances: list[CsatInstance],
+                       config: SolverConfig | None = None,
+                       solve: bool = True,
+                       time_limit: float | None = 30.0) -> DatasetStatistics:
+    """Compute the Table I statistics for a list of instances.
+
+    ``solve=False`` skips the baseline solving-time column (useful for quick
+    inspection of a freshly generated dataset).
+    """
+    gates, pis, depths, clauses, times = [], [], [], [], []
+    for instance in instances:
+        aig = instance.aig
+        stats_gates = aig.num_ands + aig.num_inverters()
+        gates.append(stats_gates)
+        pis.append(aig.num_pis)
+        depths.append(aig.depth())
+        cnf = tseitin_encode(aig)
+        clauses.append(cnf.num_clauses)
+        if solve:
+            result = solve_cnf(cnf, config=config, time_limit=time_limit)
+            times.append(result.stats.solve_time)
+    metrics = {
+        "# Gates": _summarise(gates),
+        "# PIs": _summarise(pis),
+        "Depth": _summarise(depths),
+        "# Clauses": _summarise(clauses),
+    }
+    if solve:
+        metrics["Time (s)"] = _summarise(times)
+    return DatasetStatistics(metrics=metrics, num_instances=len(instances))

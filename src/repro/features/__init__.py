@@ -1,0 +1,21 @@
+"""State features for the RL agent.
+
+The RL state (Eq. 2 of the paper) concatenates two parts:
+
+* :func:`repro.features.extract.circuit_features` — six hand-crafted
+  features of the current netlist ``G_t``, expressed relative to the initial
+  netlist ``G_0`` (Sec. III-B2);
+* :class:`repro.features.deepgate.DeepGateEmbedder` — a fixed-length
+  embedding of the initial netlist's primary outputs standing in for the
+  pre-trained DeepGate2 model used in the paper.
+"""
+
+from repro.features.deepgate import DeepGateEmbedder
+from repro.features.extract import FEATURE_NAMES, circuit_features, state_vector
+
+__all__ = [
+    "circuit_features",
+    "state_vector",
+    "FEATURE_NAMES",
+    "DeepGateEmbedder",
+]

@@ -1,0 +1,61 @@
+"""Hand-crafted circuit features (Sec. III-B2 of the paper).
+
+The six features of the current netlist ``G_t`` are:
+
+1. area ratio          — AND count of ``G_t`` over AND count of ``G_0``;
+2. depth ratio         — logic depth of ``G_t`` over depth of ``G_0``;
+3. wire ratio          — wire count of ``G_t`` over wire count of ``G_0``;
+4. AND-gate fraction   — AND gates over total gates of ``G_t``;
+5. NOT-gate fraction   — inverters over total gates of ``G_t``;
+6. average balance ratio of ``G_t`` (Eq. 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aig.aig import AIG
+from repro.aig.stats import compute_stats
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "area_ratio",
+    "depth_ratio",
+    "wire_ratio",
+    "and_fraction",
+    "not_fraction",
+    "balance_ratio",
+)
+
+
+def circuit_features(current: AIG, initial: AIG | None = None) -> np.ndarray:
+    """Return the six-feature vector ``E(G_t)`` as a float64 numpy array.
+
+    ``initial`` defaults to ``current`` itself (all ratios become 1), which
+    is the correct value at step ``t = 0``.
+    """
+    if initial is None:
+        initial = current
+    current_stats = compute_stats(current)
+    initial_stats = compute_stats(initial)
+
+    def ratio(numerator: float, denominator: float) -> float:
+        if denominator <= 0:
+            return 1.0 if numerator <= 0 else float(numerator)
+        return numerator / denominator
+
+    features = np.array([
+        ratio(current_stats.num_ands, initial_stats.num_ands),
+        ratio(current_stats.depth, initial_stats.depth),
+        ratio(current_stats.num_wires, initial_stats.num_wires),
+        current_stats.and_fraction,
+        current_stats.not_fraction,
+        current_stats.balance_ratio,
+    ], dtype=np.float64)
+    return features
+
+
+def state_vector(current: AIG, initial: AIG, embedding: np.ndarray) -> np.ndarray:
+    """Return the full RL state ``s_t = [E(G_t), D(G_0)]`` (Eq. 2)."""
+    features = circuit_features(current, initial)
+    embedding = np.asarray(embedding, dtype=np.float64).ravel()
+    return np.concatenate([features, embedding])

@@ -1,0 +1,106 @@
+"""NPN canonicalisation of small Boolean functions.
+
+Two functions are NPN-equivalent when one can be obtained from the other by
+Negating inputs, Permuting inputs and/or Negating the output.  The rewriting
+engine caches resynthesised structures per NPN class so that each class is
+optimised only once (exactly like ABC's ``rewrite`` pre-computed library, but
+built lazily).
+
+For the 4-input functions used by rewriting, brute force over all
+``2^4 * 4! * 2 = 768`` transforms is instantaneous and keeps the code simple
+and obviously correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations, product
+
+from repro.errors import TruthTableError
+from repro.logic.truthtable import TruthTable, tt_mask
+
+
+@dataclass(frozen=True)
+class NpnTransform:
+    """A concrete NPN transform.
+
+    Applying the transform to a function ``f`` yields
+    ``g(x_0..x_{n-1}) = f(y_0..y_{n-1}) ^ output_negated`` where
+    ``y_{perm[i]} = x_i ^ input_negations[i]``... in practice users should
+    only rely on :func:`npn_transform` which applies the transform, and on the
+    fact that :func:`npn_canonical` returns the transform that maps the
+    *original* function onto the canonical representative.
+    """
+
+    perm: tuple[int, ...]
+    input_negations: tuple[bool, ...]
+    output_negated: bool
+
+
+def _apply_transform(table: TruthTable, nvars: int, perm: tuple[int, ...],
+                     input_negations: tuple[bool, ...], output_negated: bool) -> TruthTable:
+    """Apply an NPN transform to ``table``.
+
+    The transformed function ``g`` is defined by
+    ``g(x) = f(x') ^ out_neg`` with ``x'_{perm[i]} = x_i ^ neg_i``.
+    """
+    result = 0
+    for minterm in range(1 << nvars):
+        source_minterm = 0
+        for i in range(nvars):
+            bit = (minterm >> i) & 1
+            if input_negations[i]:
+                bit ^= 1
+            if bit:
+                source_minterm |= 1 << perm[i]
+        value = (table >> source_minterm) & 1
+        if output_negated:
+            value ^= 1
+        if value:
+            result |= 1 << minterm
+    return result
+
+
+def npn_transform(table: TruthTable, nvars: int, transform: NpnTransform) -> TruthTable:
+    """Apply ``transform`` to ``table`` and return the transformed table."""
+    if nvars > 6:
+        raise TruthTableError("NPN canonicalisation supports at most 6 variables")
+    return _apply_transform(
+        table & tt_mask(nvars),
+        nvars,
+        transform.perm,
+        transform.input_negations,
+        transform.output_negated,
+    )
+
+
+def npn_canonical(table: TruthTable, nvars: int) -> tuple[TruthTable, NpnTransform]:
+    """Return the canonical NPN representative of ``table`` and the transform.
+
+    The representative is the numerically smallest truth table reachable by
+    any NPN transform.  The returned transform satisfies
+    ``npn_transform(table, nvars, transform) == canonical``.
+    """
+    if nvars > 6:
+        raise TruthTableError("NPN canonicalisation supports at most 6 variables")
+    table &= tt_mask(nvars)
+    best_table = None
+    best_transform = None
+    for perm in permutations(range(nvars)):
+        for negations in product((False, True), repeat=nvars):
+            for out_neg in (False, True):
+                candidate = _apply_transform(table, nvars, perm, negations, out_neg)
+                if best_table is None or candidate < best_table:
+                    best_table = candidate
+                    best_transform = NpnTransform(
+                        perm=perm,
+                        input_negations=tuple(negations),
+                        output_negated=out_neg,
+                    )
+    assert best_table is not None and best_transform is not None
+    return best_table, best_transform
+
+
+def npn_class_count(tables: list[TruthTable], nvars: int) -> int:
+    """Return the number of distinct NPN classes among ``tables``."""
+    return len({npn_canonical(table, nvars)[0] for table in tables})

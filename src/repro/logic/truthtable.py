@@ -1,0 +1,211 @@
+"""Truth tables as bit-packed Python integers.
+
+A truth table over ``nvars`` variables is an integer with ``2**nvars``
+meaningful bits.  Bit ``i`` stores the value of the function on the input
+minterm whose binary encoding is ``i`` (variable 0 is the least-significant
+bit of the minterm index).  Python's arbitrary-precision integers make this
+representation exact for any practical cut size (we use up to 16 variables
+for refactoring cones).
+
+Every function takes the variable count explicitly; results are always masked
+to the proper width so callers can compose operations freely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import TruthTableError
+
+#: Type alias used throughout the code base for readability.
+TruthTable = int
+
+_MAX_VARS = 20
+
+
+def _check_nvars(nvars: int) -> None:
+    if not 0 <= nvars <= _MAX_VARS:
+        raise TruthTableError(
+            f"variable count must be between 0 and {_MAX_VARS}, got {nvars}"
+        )
+
+
+def tt_mask(nvars: int) -> TruthTable:
+    """Return the all-ones mask for a truth table over ``nvars`` variables."""
+    _check_nvars(nvars)
+    return (1 << (1 << nvars)) - 1
+
+
+def tt_const0(nvars: int) -> TruthTable:
+    """Return the constant-0 function."""
+    _check_nvars(nvars)
+    return 0
+
+
+def tt_const1(nvars: int) -> TruthTable:
+    """Return the constant-1 function."""
+    return tt_mask(nvars)
+
+
+def tt_var(index: int, nvars: int) -> TruthTable:
+    """Return the truth table of input variable ``index`` among ``nvars``."""
+    _check_nvars(nvars)
+    if not 0 <= index < nvars:
+        raise TruthTableError(f"variable index {index} out of range for {nvars} vars")
+    # The table is a repeating pattern of `block` zeros followed by `block`
+    # ones, where block = 2**index.
+    block = 1 << index
+    period_pattern = ((1 << block) - 1) << block
+    table = 0
+    pos = 0
+    total_bits = 1 << nvars
+    while pos < total_bits:
+        table |= period_pattern << pos
+        pos += block * 2
+    return table & tt_mask(nvars)
+
+
+def tt_not(table: TruthTable, nvars: int) -> TruthTable:
+    """Return the complement of ``table``."""
+    return ~table & tt_mask(nvars)
+
+
+def tt_and(a: TruthTable, b: TruthTable, nvars: int) -> TruthTable:
+    """Return the conjunction of two truth tables."""
+    return (a & b) & tt_mask(nvars)
+
+
+def tt_or(a: TruthTable, b: TruthTable, nvars: int) -> TruthTable:
+    """Return the disjunction of two truth tables."""
+    return (a | b) & tt_mask(nvars)
+
+
+def tt_xor(a: TruthTable, b: TruthTable, nvars: int) -> TruthTable:
+    """Return the exclusive-or of two truth tables."""
+    return (a ^ b) & tt_mask(nvars)
+
+
+def tt_eval(table: TruthTable, assignment: Sequence[bool | int], nvars: int) -> bool:
+    """Evaluate ``table`` on a concrete input ``assignment``.
+
+    ``assignment[i]`` is the value of variable ``i``; extra entries are
+    ignored, missing entries raise.
+    """
+    if len(assignment) < nvars:
+        raise TruthTableError(
+            f"assignment has {len(assignment)} values but function has {nvars} inputs"
+        )
+    minterm = 0
+    for i in range(nvars):
+        if assignment[i]:
+            minterm |= 1 << i
+    return bool((table >> minterm) & 1)
+
+
+def tt_from_function(func: Callable[..., bool | int], nvars: int) -> TruthTable:
+    """Build a truth table by evaluating ``func`` on every minterm.
+
+    ``func`` receives ``nvars`` positional boolean arguments.
+    """
+    _check_nvars(nvars)
+    table = 0
+    for minterm in range(1 << nvars):
+        args = [bool((minterm >> i) & 1) for i in range(nvars)]
+        if func(*args):
+            table |= 1 << minterm
+    return table
+
+
+def tt_cofactor(table: TruthTable, var: int, value: int, nvars: int) -> TruthTable:
+    """Return the cofactor of ``table`` with variable ``var`` fixed to ``value``.
+
+    The result is still expressed over ``nvars`` variables (the fixed variable
+    becomes a don't-care in the usual positional sense: the returned table no
+    longer depends on it).
+    """
+    _check_nvars(nvars)
+    if not 0 <= var < nvars:
+        raise TruthTableError(f"variable index {var} out of range for {nvars} vars")
+    block = 1 << var
+    mask = tt_mask(nvars)
+    # Build a selector of the minterms where `var` equals `value`.
+    selector = 0
+    bits_per_period = block * 2
+    pattern_ones = ((1 << block) - 1) << (block if value else 0)
+    total_bits = 1 << nvars
+    pos = 0
+    while pos < total_bits:
+        selector |= pattern_ones << pos
+        pos += bits_per_period
+    selector &= mask
+    kept = table & selector
+    # Smear the kept half onto the other half so the result ignores `var`.
+    if value:
+        other = kept >> block
+    else:
+        other = kept << block
+    return (kept | other) & mask
+
+
+def tt_support(table: TruthTable, nvars: int) -> list[int]:
+    """Return the list of variables the function actually depends on."""
+    support = []
+    for var in range(nvars):
+        if tt_cofactor(table, var, 0, nvars) != tt_cofactor(table, var, 1, nvars):
+            support.append(var)
+    return support
+
+
+def tt_count_ones(table: TruthTable, nvars: int) -> int:
+    """Return the number of minterms on which the function is 1."""
+    return int(bin(table & tt_mask(nvars)).count("1"))
+
+
+def tt_expand(table: TruthTable, old_positions: Sequence[int], old_nvars: int,
+              new_nvars: int) -> TruthTable:
+    """Re-express ``table`` (over ``old_nvars`` inputs) over ``new_nvars`` inputs.
+
+    ``old_positions[i]`` gives the position of old variable ``i`` in the new
+    variable ordering.  Variables not mentioned become don't-cares.  This is
+    the workhorse used when merging cut truth tables expressed over different
+    leaf sets.
+    """
+    _check_nvars(old_nvars)
+    _check_nvars(new_nvars)
+    if len(old_positions) < old_nvars:
+        raise TruthTableError("old_positions must cover every old variable")
+    result = 0
+    for new_minterm in range(1 << new_nvars):
+        old_minterm = 0
+        for old_var in range(old_nvars):
+            if (new_minterm >> old_positions[old_var]) & 1:
+                old_minterm |= 1 << old_var
+        if (table >> old_minterm) & 1:
+            result |= 1 << new_minterm
+    return result
+
+
+def tt_shrink_to_support(table: TruthTable, nvars: int) -> tuple[TruthTable, list[int]]:
+    """Project ``table`` onto its true support.
+
+    Returns ``(new_table, support)`` where ``new_table`` is expressed over
+    ``len(support)`` variables and ``support[i]`` is the original index of new
+    variable ``i``.
+    """
+    support = tt_support(table, nvars)
+    new_nvars = len(support)
+    result = 0
+    for new_minterm in range(1 << new_nvars):
+        old_minterm = 0
+        for new_var, old_var in enumerate(support):
+            if (new_minterm >> new_var) & 1:
+                old_minterm |= 1 << old_var
+        if (table >> old_minterm) & 1:
+            result |= 1 << new_minterm
+    return result, support
+
+
+def tt_to_string(table: TruthTable, nvars: int) -> str:
+    """Return the binary string of the table, most-significant minterm first."""
+    width = 1 << nvars
+    return format(table & tt_mask(nvars), f"0{width}b")

@@ -1,0 +1,29 @@
+"""Technology mapping into k-input LUTs (the mockturtle substitute).
+
+The mapper covers an AIG with k-feasible cuts, each becoming one LUT, under a
+pluggable per-LUT cost function.  The paper's contribution is the
+*branching-complexity* cost (:func:`repro.mapping.cost.branching_complexity`),
+which makes the mapper prefer LUT functions that a CDCL solver can justify
+with few fanin decisions — instead of the conventional area cost that simply
+counts LUTs.
+"""
+
+from repro.mapping.cost import (
+    area_cost,
+    branching_complexity,
+    branching_cost,
+    lut_cost_table,
+)
+from repro.mapping.lut import LutNetlist, LutNode
+from repro.mapping.mapper import MappingResult, map_aig
+
+__all__ = [
+    "LutNetlist",
+    "LutNode",
+    "map_aig",
+    "MappingResult",
+    "area_cost",
+    "branching_cost",
+    "branching_complexity",
+    "lut_cost_table",
+]

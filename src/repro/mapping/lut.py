@@ -1,0 +1,175 @@
+"""LUT netlist container.
+
+A LUT netlist is the output of technology mapping: a DAG whose internal
+nodes are k-input look-up tables (each carrying an arbitrary truth table over
+its fanins) and whose leaves are the primary inputs of the original AIG.
+The netlist is the input to the LUT-to-CNF encoder
+(:mod:`repro.cnf.lut2cnf`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.logic.truthtable import tt_eval, tt_mask
+
+
+@dataclass(frozen=True)
+class LutNode:
+    """One LUT: fanin node identifiers plus a truth table over them.
+
+    ``inputs[i]`` is the netlist node id of fanin ``i`` which corresponds to
+    truth-table variable ``i``.  Primary inputs are represented as LUT-free
+    nodes and never appear in ``luts``.
+    """
+
+    node_id: int
+    inputs: tuple[int, ...]
+    table: int
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+
+class LutNetlist:
+    """A mapped netlist of k-input LUTs."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._next_id = 0
+        self._pis: list[int] = []
+        self._pi_names: list[str] = []
+        self._luts: dict[int, LutNode] = {}
+        self._pos: list[tuple[int, bool]] = []
+        self._po_names: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_pi(self, name: str | None = None) -> int:
+        """Create a primary input node; return its node id."""
+        node_id = self._next_id
+        self._next_id += 1
+        self._pis.append(node_id)
+        self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        return node_id
+
+    def add_lut(self, inputs: tuple[int, ...] | list[int], table: int) -> int:
+        """Create a LUT over existing nodes; return its node id."""
+        inputs = tuple(inputs)
+        for fanin in inputs:
+            if not self.has_node(fanin):
+                raise MappingError(f"LUT fanin {fanin} does not exist")
+        nvars = len(inputs)
+        table &= tt_mask(nvars)
+        node_id = self._next_id
+        self._next_id += 1
+        self._luts[node_id] = LutNode(node_id=node_id, inputs=inputs, table=table)
+        return node_id
+
+    def add_po(self, node_id: int, complemented: bool = False,
+               name: str | None = None) -> int:
+        """Register a primary output driven by ``node_id`` (optionally inverted)."""
+        if not self.has_node(node_id):
+            raise MappingError(f"PO driver {node_id} does not exist")
+        self._pos.append((node_id, complemented))
+        self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        return len(self._pos) - 1
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def has_node(self, node_id: int) -> bool:
+        return 0 <= node_id < self._next_id
+
+    def is_pi(self, node_id: int) -> bool:
+        return node_id in set(self._pis)
+
+    @property
+    def pis(self) -> list[int]:
+        return list(self._pis)
+
+    @property
+    def pi_names(self) -> list[str]:
+        return list(self._pi_names)
+
+    @property
+    def pos(self) -> list[tuple[int, bool]]:
+        return list(self._pos)
+
+    @property
+    def po_names(self) -> list[str]:
+        return list(self._po_names)
+
+    @property
+    def num_pis(self) -> int:
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        return len(self._pos)
+
+    @property
+    def num_luts(self) -> int:
+        return len(self._luts)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._next_id
+
+    def luts(self) -> list[LutNode]:
+        """Return all LUT nodes in topological (creation) order."""
+        return [self._luts[node_id] for node_id in sorted(self._luts)]
+
+    def lut(self, node_id: int) -> LutNode:
+        if node_id not in self._luts:
+            raise MappingError(f"node {node_id} is not a LUT")
+        return self._luts[node_id]
+
+    def depth(self) -> int:
+        """Return the LUT depth of the netlist (PIs are at level 0)."""
+        levels: dict[int, int] = {pi: 0 for pi in self._pis}
+        for node in self.luts():
+            levels[node.node_id] = 1 + max(
+                (levels[fanin] for fanin in node.inputs), default=0)
+        if not self._pos:
+            return 0
+        return max(levels[node_id] for node_id, _ in self._pos)
+
+    def lut_size_histogram(self) -> dict[int, int]:
+        """Return a histogram of LUT fanin counts."""
+        histogram: dict[int, int] = {}
+        for node in self.luts():
+            histogram[node.num_inputs] = histogram.get(node.num_inputs, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, assignment: list[bool]) -> list[bool]:
+        """Evaluate the netlist on one input assignment (ordered like ``pis``)."""
+        if len(assignment) != self.num_pis:
+            raise MappingError(
+                f"assignment has {len(assignment)} values for {self.num_pis} inputs"
+            )
+        values: dict[int, bool] = {}
+        for pi, value in zip(self._pis, assignment):
+            values[pi] = bool(value)
+        for node in self.luts():
+            fanin_values = [values[fanin] for fanin in node.inputs]
+            values[node.node_id] = tt_eval(node.table, fanin_values, node.num_inputs) \
+                if node.num_inputs else bool(node.table & 1)
+        outputs = []
+        for node_id, complemented in self._pos:
+            value = values[node_id]
+            outputs.append(value ^ complemented)
+        return outputs
+
+    def __repr__(self) -> str:
+        return (f"LutNetlist(name={self.name!r}, pis={self.num_pis}, "
+                f"pos={self.num_pos}, luts={self.num_luts})")

@@ -1,0 +1,27 @@
+"""Reinforcement-learning substrate: DQN agent over logic-synthesis recipes.
+
+The agent (Sec. III-B of the paper) selects one synthesis operation per step
+from the discrete action space ``(rewrite, refactor, balance, resub, end)``;
+the environment applies the operation to the circuit and, at the end of the
+episode, rewards the agent with the reduction in SAT-solver decisions
+("branching times", Eq. 3).
+"""
+
+from repro.rl.agent import DqnAgent, RandomAgent
+from repro.rl.env import SynthesisEnv, EpisodeResult
+from repro.rl.mlp import Mlp
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.train import TrainingHistory, agent_recipe, train_dqn
+
+__all__ = [
+    "Mlp",
+    "ReplayBuffer",
+    "Transition",
+    "DqnAgent",
+    "RandomAgent",
+    "SynthesisEnv",
+    "EpisodeResult",
+    "train_dqn",
+    "agent_recipe",
+    "TrainingHistory",
+]

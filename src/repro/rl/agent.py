@@ -1,0 +1,129 @@
+"""DQN agent over the logic-synthesis action space (Sec. III-B6, Eq. 4/5).
+
+The agent maintains an action-value MLP ``Q_theta`` and a periodically synced
+target network ``Q_theta_hat``; actions are selected epsilon-greedily during
+training and greedily at evaluation time.  A :class:`RandomAgent` with the
+same interface implements the "w/o RL" ablation of Fig. 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RlError
+from repro.rl.mlp import Mlp
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.synthesis.recipe import ACTION_NAMES
+
+
+class DqnAgent:
+    """Deep Q-learning agent with a target network and experience replay."""
+
+    def __init__(self, state_dim: int, num_actions: int = len(ACTION_NAMES),
+                 hidden_dims: tuple[int, ...] = (64, 64),
+                 learning_rate: float = 1e-3, gamma: float = 0.98,
+                 batch_size: int = 32, target_sync_interval: int = 50,
+                 replay_capacity: int = 10_000, seed: int = 0) -> None:
+        if not 0.0 <= gamma <= 1.0:
+            raise RlError("discount factor gamma must lie in [0, 1]")
+        self.state_dim = state_dim
+        self.num_actions = num_actions
+        self.gamma = gamma
+        self.batch_size = batch_size
+        self.target_sync_interval = target_sync_interval
+        self.q_network = Mlp(state_dim, hidden_dims, num_actions,
+                             seed=seed, learning_rate=learning_rate)
+        self.target_network = Mlp(state_dim, hidden_dims, num_actions,
+                                  seed=seed, learning_rate=learning_rate)
+        self.target_network.set_parameters(self.q_network.get_parameters())
+        self.replay = ReplayBuffer(capacity=replay_capacity, seed=seed)
+        self._rng = np.random.default_rng(seed)
+        self._updates = 0
+
+    # ------------------------------------------------------------------ #
+    # Acting
+    # ------------------------------------------------------------------ #
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Return the Q-value vector for one state."""
+        return self.q_network.forward(state)[0]
+
+    def act(self, state: np.ndarray, epsilon: float = 0.0) -> int:
+        """Select an action epsilon-greedily (Eq. 4 with exploration)."""
+        if epsilon > 0 and self._rng.random() < epsilon:
+            return int(self._rng.integers(self.num_actions))
+        return int(np.argmax(self.q_values(state)))
+
+    # ------------------------------------------------------------------ #
+    # Learning
+    # ------------------------------------------------------------------ #
+
+    def observe(self, transition: Transition) -> None:
+        """Store a transition in the replay buffer."""
+        self.replay.push(transition)
+
+    def train_step(self) -> float | None:
+        """One DQN update (Eq. 5); returns the loss or None when not ready."""
+        if len(self.replay) < self.batch_size:
+            return None
+        batch = self.replay.sample(self.batch_size)
+        states = np.stack([transition.state for transition in batch])
+        next_states = np.stack([transition.next_state for transition in batch])
+        actions = np.array([transition.action for transition in batch])
+        rewards = np.array([transition.reward for transition in batch])
+        done_mask = np.array([transition.done for transition in batch])
+
+        next_q = self.target_network.forward(next_states)
+        bootstrap = np.max(next_q, axis=1)
+        bootstrap[done_mask] = 0.0
+        targets = rewards + self.gamma * bootstrap
+
+        loss = self.q_network.train_on_targets(states, actions, targets)
+        self._updates += 1
+        if self._updates % self.target_sync_interval == 0:
+            self.sync_target()
+        return loss
+
+    def sync_target(self) -> None:
+        """Copy the online network parameters into the target network."""
+        self.target_network.set_parameters(self.q_network.get_parameters())
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path) -> None:
+        """Save the online-network parameters to an ``.npz`` file."""
+        parameters = self.q_network.get_parameters()
+        np.savez(path, *parameters)
+
+    def load(self, path) -> None:
+        """Load parameters previously written by :meth:`save`."""
+        archive = np.load(path)
+        parameters = [archive[key] for key in archive.files]
+        self.q_network.set_parameters(parameters)
+        self.sync_target()
+
+
+class RandomAgent:
+    """A policy that selects synthesis operations uniformly at random.
+
+    This is the "w/o RL" ablation of Fig. 5: it never selects ``end`` before
+    the step budget runs out (matching the paper's fixed T random recipes)
+    unless ``allow_end`` is set.
+    """
+
+    def __init__(self, num_actions: int = len(ACTION_NAMES), seed: int = 0,
+                 allow_end: bool = False) -> None:
+        self.num_actions = num_actions
+        self.allow_end = allow_end
+        self._rng = np.random.default_rng(seed)
+
+    def act(self, state: np.ndarray, epsilon: float = 0.0) -> int:
+        """Return a uniformly random action (the state is ignored)."""
+        del state, epsilon
+        end_index = ACTION_NAMES.index("end")
+        if self.allow_end:
+            return int(self._rng.integers(self.num_actions))
+        choices = [index for index in range(self.num_actions) if index != end_index]
+        return int(self._rng.choice(choices))

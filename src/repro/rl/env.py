@@ -1,0 +1,155 @@
+"""The logic-synthesis MDP environment (Sec. III-B of the paper).
+
+One episode preprocesses one CSAT instance:
+
+* **state** — the six hand features of the current netlist concatenated with
+  the DeepGate2-substitute embedding of the initial netlist (Eq. 2);
+* **action** — one of ``rewrite``, ``refactor``, ``balance``, ``resub`` or
+  ``end`` (Sec. III-B3);
+* **transition** — the chosen synthesis operation applied to the netlist
+  (Sec. III-B4);
+* **reward** — zero on intermediate steps; at the terminal step, the
+  *reduction in solver decisions* between the preprocessed instance and the
+  initial instance, both pushed through the same cost-customised LUT mapping
+  and CNF encoding and solved with the same budgeted solver (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aig.aig import AIG
+from repro.cnf.lut2cnf import lut_netlist_to_cnf
+from repro.errors import RlError
+from repro.features.deepgate import DeepGateEmbedder
+from repro.features.extract import state_vector
+from repro.mapping.cost import branching_cost
+from repro.mapping.mapper import map_aig
+from repro.sat.configs import SolverConfig
+from repro.sat.solver import solve_cnf
+from repro.synthesis.recipe import ACTION_NAMES, apply_operation
+
+
+@dataclass
+class EpisodeResult:
+    """Summary of one finished episode."""
+
+    instance_name: str
+    recipe: list[str]
+    reward: float
+    decisions_before: int
+    decisions_after: int
+    initial_ands: int
+    final_ands: int
+
+
+@dataclass
+class SynthesisEnv:
+    """Gym-style environment wrapping the synthesis recipe MDP."""
+
+    max_steps: int = 10
+    lut_size: int = 4
+    embedder: DeepGateEmbedder = field(default_factory=lambda: DeepGateEmbedder(dim=64))
+    solver_config: SolverConfig = field(default_factory=SolverConfig)
+    max_conflicts: int | None = 20_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_steps < 1:
+            raise RlError("max_steps must be at least 1")
+        self._initial: AIG | None = None
+        self._current: AIG | None = None
+        self._embedding: np.ndarray | None = None
+        self._decisions_before: int | None = None
+        self._step_count = 0
+        self._recipe: list[str] = []
+        self._instance_name = ""
+
+    # ------------------------------------------------------------------ #
+    # Environment API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_actions(self) -> int:
+        return len(ACTION_NAMES)
+
+    @property
+    def state_dim(self) -> int:
+        return 6 + self.embedder.dim
+
+    def reset(self, instance: AIG, name: str = "") -> np.ndarray:
+        """Start a new episode on ``instance``; return the initial state."""
+        self._initial = instance
+        self._current = instance
+        self._embedding = self.embedder.embed(instance)
+        self._decisions_before = self._count_decisions(instance)
+        self._step_count = 0
+        self._recipe = []
+        self._instance_name = name or instance.name
+        return self._state()
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        """Apply ``action``; return ``(next_state, reward, done, info)``."""
+        if self._current is None or self._initial is None:
+            raise RlError("step() called before reset()")
+        if not 0 <= action < len(ACTION_NAMES):
+            raise RlError(f"action index {action} out of range")
+        action_name = ACTION_NAMES[action]
+        info: dict = {"action": action_name}
+
+        if action_name == "end":
+            reward, result = self._terminal_reward()
+            info["episode"] = result
+            return self._state(), reward, True, info
+
+        self._current = apply_operation(self._current, action_name)
+        self._recipe.append(action_name)
+        self._step_count += 1
+        if self._step_count >= self.max_steps:
+            reward, result = self._terminal_reward()
+            info["episode"] = result
+            return self._state(), reward, True, info
+        return self._state(), 0.0, False, info
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _state(self) -> np.ndarray:
+        assert self._current is not None and self._initial is not None
+        assert self._embedding is not None
+        return state_vector(self._current, self._initial, self._embedding)
+
+    def _count_decisions(self, aig: AIG) -> int:
+        """Solve ``aig`` through the mapping + LUT-CNF pipeline; return decisions."""
+        netlist = map_aig(aig, k=self.lut_size, cost_fn=branching_cost).netlist
+        cnf = lut_netlist_to_cnf(netlist)
+        result = solve_cnf(cnf, config=self.solver_config,
+                           max_conflicts=self.max_conflicts)
+        return result.stats.decisions
+
+    def _terminal_reward(self) -> tuple[float, EpisodeResult]:
+        assert self._current is not None and self._initial is not None
+        assert self._decisions_before is not None
+        decisions_after = self._count_decisions(self._current)
+        delta = decisions_after - self._decisions_before
+        reward = float(-delta)
+        result = EpisodeResult(
+            instance_name=self._instance_name,
+            recipe=list(self._recipe),
+            reward=reward,
+            decisions_before=self._decisions_before,
+            decisions_after=decisions_after,
+            initial_ands=self._initial.num_ands,
+            final_ands=self._current.num_ands,
+        )
+        return reward, result
+
+    @property
+    def current_aig(self) -> AIG:
+        """The netlist after the operations applied so far in this episode."""
+        if self._current is None:
+            raise RlError("no episode in progress")
+        return self._current

@@ -1,0 +1,133 @@
+"""A small multilayer perceptron with an Adam optimiser, in pure numpy.
+
+The paper's action-value function ``Q_theta`` is an MLP over the state vector
+(Eq. 4); this module provides exactly that, with just enough machinery
+(forward pass, mean-squared-error gradient on selected outputs, Adam) to
+train the DQN agent without any deep-learning framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RlError
+
+
+class Mlp:
+    """A fully connected network with ReLU hidden layers and a linear head."""
+
+    def __init__(self, input_dim: int, hidden_dims: tuple[int, ...],
+                 output_dim: int, seed: int = 0,
+                 learning_rate: float = 1e-3) -> None:
+        if input_dim <= 0 or output_dim <= 0:
+            raise RlError("input and output dimensions must be positive")
+        self.input_dim = input_dim
+        self.output_dim = output_dim
+        self.learning_rate = learning_rate
+        rng = np.random.default_rng(seed)
+        dims = [input_dim, *hidden_dims, output_dim]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.standard_normal((fan_in, fan_out)) * scale)
+            self.biases.append(np.zeros(fan_out))
+        # Adam state.
+        self._step = 0
+        self._m = [np.zeros_like(w) for w in self.weights] + \
+                  [np.zeros_like(b) for b in self.biases]
+        self._v = [np.zeros_like(w) for w in self.weights] + \
+                  [np.zeros_like(b) for b in self.biases]
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Return the network output for a batch (or single vector) of inputs."""
+        outputs, _ = self._forward_cached(np.atleast_2d(np.asarray(inputs, dtype=np.float64)))
+        return outputs
+
+    def _forward_cached(self, batch: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        if batch.shape[1] != self.input_dim:
+            raise RlError(
+                f"expected input dimension {self.input_dim}, got {batch.shape[1]}")
+        activations = [batch]
+        current = batch
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            current = current @ weight + bias
+            if index < len(self.weights) - 1:
+                current = np.maximum(current, 0.0)
+            activations.append(current)
+        return current, activations
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    def train_on_targets(self, inputs: np.ndarray, action_indices: np.ndarray,
+                         targets: np.ndarray) -> float:
+        """One gradient step on ``(Q(s)[a] - target)^2``; returns the batch loss."""
+        batch = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        action_indices = np.asarray(action_indices, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.float64)
+        outputs, activations = self._forward_cached(batch)
+        batch_size = batch.shape[0]
+
+        predicted = outputs[np.arange(batch_size), action_indices]
+        errors = predicted - targets
+        loss = float(np.mean(errors ** 2))
+
+        # Gradient of the loss w.r.t. the network output.
+        grad_output = np.zeros_like(outputs)
+        grad_output[np.arange(batch_size), action_indices] = 2.0 * errors / batch_size
+
+        weight_grads: list[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        bias_grads: list[np.ndarray] = [np.zeros_like(b) for b in self.biases]
+        grad = grad_output
+        for index in range(len(self.weights) - 1, -1, -1):
+            weight_grads[index] = activations[index].T @ grad
+            bias_grads[index] = grad.sum(axis=0)
+            if index > 0:
+                grad = grad @ self.weights[index].T
+                grad = grad * (activations[index] > 0)
+
+        self._adam_update(weight_grads, bias_grads)
+        return loss
+
+    def _adam_update(self, weight_grads: list[np.ndarray],
+                     bias_grads: list[np.ndarray],
+                     beta1: float = 0.9, beta2: float = 0.999,
+                     epsilon: float = 1e-8) -> None:
+        self._step += 1
+        parameters = self.weights + self.biases
+        gradients = weight_grads + bias_grads
+        for index, (parameter, gradient) in enumerate(zip(parameters, gradients)):
+            self._m[index] = beta1 * self._m[index] + (1 - beta1) * gradient
+            self._v[index] = beta2 * self._v[index] + (1 - beta2) * gradient ** 2
+            m_hat = self._m[index] / (1 - beta1 ** self._step)
+            v_hat = self._v[index] / (1 - beta2 ** self._step)
+            parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + epsilon)
+
+    # ------------------------------------------------------------------ #
+    # Parameter copying (target network support)
+    # ------------------------------------------------------------------ #
+
+    def get_parameters(self) -> list[np.ndarray]:
+        """Return copies of all parameters (weights then biases)."""
+        return [w.copy() for w in self.weights] + [b.copy() for b in self.biases]
+
+    def set_parameters(self, parameters: list[np.ndarray]) -> None:
+        """Load parameters previously produced by :meth:`get_parameters`."""
+        count = len(self.weights)
+        if len(parameters) != count + len(self.biases):
+            raise RlError("parameter list has the wrong length")
+        for index in range(count):
+            if parameters[index].shape != self.weights[index].shape:
+                raise RlError("weight shape mismatch while loading parameters")
+            self.weights[index] = parameters[index].copy()
+        for index in range(len(self.biases)):
+            source = parameters[count + index]
+            if source.shape != self.biases[index].shape:
+                raise RlError("bias shape mismatch while loading parameters")
+            self.biases[index] = source.copy()

@@ -1,0 +1,50 @@
+"""Experience replay buffer for DQN training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RlError
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One environment transition ``(s, a, r, s', done)``."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """A fixed-capacity ring buffer of transitions with uniform sampling."""
+
+    def __init__(self, capacity: int = 10_000, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise RlError("replay capacity must be positive")
+        self.capacity = capacity
+        self._storage: list[Transition] = []
+        self._cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    def push(self, transition: Transition) -> None:
+        """Insert a transition, evicting the oldest once at capacity."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> list[Transition]:
+        """Sample ``batch_size`` transitions uniformly with replacement."""
+        if not self._storage:
+            raise RlError("cannot sample from an empty replay buffer")
+        indices = self._rng.integers(0, len(self._storage), size=batch_size)
+        return [self._storage[index] for index in indices]
+
+    def __len__(self) -> int:
+        return len(self._storage)

@@ -1,0 +1,119 @@
+"""DQN training loop and greedy recipe extraction.
+
+The paper trains for 10 000 episodes over 200 easy instances with
+``T = 10``, ``gamma = 0.98``, batch size 32 and learning rate 1e-5.  The
+loop here is identical in structure; the episode budget is a parameter so the
+benchmarks and tests can use budgets compatible with the pure-Python solver
+(the budget actually used is recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aig.aig import AIG
+from repro.benchgen.suite import CsatInstance
+from repro.errors import RlError
+from repro.rl.agent import DqnAgent
+from repro.rl.env import EpisodeResult, SynthesisEnv
+from repro.rl.replay import Transition
+from repro.synthesis.recipe import ACTION_NAMES
+
+
+@dataclass
+class TrainingHistory:
+    """Per-episode rewards and losses collected during training."""
+
+    episode_rewards: list[float] = field(default_factory=list)
+    episode_results: list[EpisodeResult] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def num_episodes(self) -> int:
+        return len(self.episode_rewards)
+
+    def mean_reward(self, last: int | None = None) -> float:
+        rewards = self.episode_rewards[-last:] if last else self.episode_rewards
+        return float(np.mean(rewards)) if rewards else 0.0
+
+
+def train_dqn(instances: list[CsatInstance] | list[AIG], env: SynthesisEnv,
+              agent: DqnAgent | None = None, episodes: int = 50,
+              epsilon_start: float = 1.0, epsilon_end: float = 0.05,
+              epsilon_decay_episodes: int | None = None,
+              seed: int = 0) -> tuple[DqnAgent, TrainingHistory]:
+    """Train a DQN agent on the given instances; return (agent, history).
+
+    ``instances`` may be :class:`CsatInstance` objects or plain AIGs.  Each
+    episode picks one instance uniformly at random, exactly as in the paper.
+    """
+    if not instances:
+        raise RlError("cannot train on an empty instance list")
+    aigs: list[tuple[str, AIG]] = []
+    for item in instances:
+        if isinstance(item, CsatInstance):
+            aigs.append((item.name, item.aig))
+        else:
+            aigs.append((item.name or f"instance{len(aigs)}", item))
+
+    if agent is None:
+        agent = DqnAgent(state_dim=env.state_dim, num_actions=env.num_actions,
+                         seed=seed)
+    if epsilon_decay_episodes is None:
+        epsilon_decay_episodes = max(1, episodes // 2)
+    rng = np.random.default_rng(seed)
+    history = TrainingHistory()
+
+    for episode in range(episodes):
+        epsilon = max(
+            epsilon_end,
+            epsilon_start - (epsilon_start - epsilon_end)
+            * episode / epsilon_decay_episodes,
+        )
+        name, aig = aigs[int(rng.integers(len(aigs)))]
+        state = env.reset(aig, name=name)
+        done = False
+        episode_reward = 0.0
+        while not done:
+            action = agent.act(state, epsilon=epsilon)
+            next_state, reward, done, info = env.step(action)
+            agent.observe(Transition(state=state, action=action, reward=reward,
+                                     next_state=next_state, done=done))
+            loss = agent.train_step()
+            if loss is not None:
+                history.losses.append(loss)
+            state = next_state
+            episode_reward += reward
+            if done and "episode" in info:
+                history.episode_results.append(info["episode"])
+        history.episode_rewards.append(episode_reward)
+    return agent, history
+
+
+def agent_recipe(agent, env: SynthesisEnv, aig: AIG,
+                 max_steps: int | None = None) -> list[str]:
+    """Roll out the agent greedily on ``aig`` and return the chosen recipe.
+
+    The rollout applies the synthesis operations directly (no reward is
+    computed, so no SAT solving happens); the state the agent sees evolves
+    exactly as during training.  Works for both :class:`DqnAgent` and
+    :class:`repro.rl.agent.RandomAgent`.
+    """
+    from repro.features.extract import state_vector
+    from repro.synthesis.recipe import apply_operation
+
+    steps = max_steps if max_steps is not None else env.max_steps
+    recipe: list[str] = []
+    embedding = env.embedder.embed(aig)
+    current = aig
+    for _ in range(steps):
+        state = state_vector(current, aig, embedding)
+        action = agent.act(state, epsilon=0.0)
+        action_name = ACTION_NAMES[action]
+        if action_name == "end":
+            break
+        current = apply_operation(current, action_name)
+        recipe.append(action_name)
+    return recipe

@@ -1,0 +1,30 @@
+"""CDCL SAT solver substrate (the Kissat / CaDiCaL substitute).
+
+The solver is a complete conflict-driven clause-learning solver implemented
+in pure Python: two-watched-literal propagation, first-UIP conflict analysis,
+VSIDS decision heuristic with phase saving, Luby restarts and LBD-based
+learned-clause reduction.  It exposes the observable quantities the paper's
+framework relies on — most importantly the number of *decisions* (the
+"variable branching times" used as the RL reward and as the solving-
+complexity proxy).
+
+Two presets, :func:`repro.sat.configs.kissat_like` and
+:func:`repro.sat.configs.cadical_like`, stand in for the two solvers used in
+the paper's evaluation (Fig. 4a and Fig. 4c).
+"""
+
+from repro.sat.configs import SolverConfig, cadical_like, kissat_like
+from repro.sat.dpll import dpll_solve
+from repro.sat.solver import CdclSolver, SolveResult, solve_cnf
+from repro.sat.stats import SolverStats
+
+__all__ = [
+    "CdclSolver",
+    "SolveResult",
+    "solve_cnf",
+    "SolverStats",
+    "SolverConfig",
+    "kissat_like",
+    "cadical_like",
+    "dpll_solve",
+]

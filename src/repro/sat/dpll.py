@@ -1,0 +1,93 @@
+"""A plain DPLL solver used as a reference oracle in the test-suite.
+
+The solver performs unit propagation and chronological backtracking without
+clause learning, activities or restarts.  It is exponentially slower than
+:class:`repro.sat.solver.CdclSolver` but small enough to be obviously
+correct, which makes it a useful cross-check on random formulas.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.cnf import Cnf
+from repro.errors import SolverError
+
+
+def dpll_solve(cnf: Cnf, max_variables: int = 40) -> tuple[str, dict[int, bool] | None]:
+    """Solve ``cnf`` by DPLL; returns ``(status, model)``.
+
+    ``max_variables`` guards against accidentally feeding the exponential
+    reference solver a large instance.
+    """
+    if cnf.num_vars > max_variables:
+        raise SolverError(
+            f"dpll_solve is a reference oracle for small formulas "
+            f"(num_vars={cnf.num_vars} > {max_variables})"
+        )
+    clauses = [list(clause) for clause in cnf.clauses]
+    assignment: dict[int, bool] = {}
+    status = _dpll(clauses, assignment)
+    if status:
+        model = {var: assignment.get(var, False) for var in range(1, cnf.num_vars + 1)}
+        return "SAT", model
+    return "UNSAT", None
+
+
+def _unit_propagate(clauses: list[list[int]],
+                    assignment: dict[int, bool]) -> bool:
+    """Propagate unit clauses in place; return False on conflict."""
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            unassigned = []
+            satisfied = False
+            for literal in clause:
+                var = abs(literal)
+                if var in assignment:
+                    if (literal > 0) == assignment[var]:
+                        satisfied = True
+                        break
+                else:
+                    unassigned.append(literal)
+            if satisfied:
+                continue
+            if not unassigned:
+                return False
+            if len(unassigned) == 1:
+                literal = unassigned[0]
+                assignment[abs(literal)] = literal > 0
+                changed = True
+    return True
+
+
+def _dpll(clauses: list[list[int]], assignment: dict[int, bool]) -> bool:
+    snapshot = dict(assignment)
+    if not _unit_propagate(clauses, assignment):
+        assignment.clear()
+        assignment.update(snapshot)
+        return False
+    # Find an unassigned variable appearing in an unsatisfied clause.
+    decision_var = None
+    for clause in clauses:
+        satisfied = any(abs(literal) in assignment
+                        and (literal > 0) == assignment[abs(literal)]
+                        for literal in clause)
+        if satisfied:
+            continue
+        for literal in clause:
+            if abs(literal) not in assignment:
+                decision_var = abs(literal)
+                break
+        if decision_var is not None:
+            break
+    if decision_var is None:
+        return True
+    for value in (True, False):
+        assignment[decision_var] = value
+        if _dpll(clauses, assignment):
+            return True
+        extra = set(assignment) - set(snapshot)
+        for var in extra:
+            del assignment[var]
+        assignment.update(snapshot)
+    return False

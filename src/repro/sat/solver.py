@@ -1,0 +1,462 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver in pure Python.
+
+The implementation follows the canonical MiniSat architecture with the
+modern additions the paper's target solvers (Kissat, CaDiCaL) rely on:
+
+* two-watched-literal unit propagation;
+* first-UIP conflict analysis with learned-clause minimisation;
+* VSIDS variable activities with phase saving;
+* Luby or geometric restarts;
+* glue-based (LBD) learned-clause database reduction.
+
+Internally literals are encoded as ``2 * var + sign`` with 0-based variables;
+the public interface speaks DIMACS (1-based signed integers) through
+:class:`repro.cnf.Cnf`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+from repro.cnf.cnf import Cnf
+from repro.errors import SolverError
+from repro.sat.configs import SolverConfig
+from repro.sat.stats import SolverStats
+
+#: Tri-state assignment values.
+_UNASSIGNED = -1
+_FALSE = 0
+_TRUE = 1
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a solver run."""
+
+    status: str                      # "SAT", "UNSAT" or "UNKNOWN"
+    model: dict[int, bool] | None    # DIMACS variable -> value (SAT only)
+    stats: SolverStats
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "SAT"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "UNSAT"
+
+
+def _luby(index: int) -> int:
+    """Return the ``index``-th element (0-based) of the Luby sequence.
+
+    The sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+    (MiniSat's iterative formulation).
+    """
+    size = 1
+    sequence = 0
+    while size < index + 1:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        sequence -= 1
+        index = index % size
+    return 1 << sequence
+
+
+class CdclSolver:
+    """CDCL solver over a fixed clause database."""
+
+    def __init__(self, cnf: Cnf, config: SolverConfig | None = None) -> None:
+        self.config = config or SolverConfig()
+        self.num_vars = cnf.num_vars
+        self.stats = SolverStats()
+
+        self._clauses: list[list[int]] = []
+        self._clause_lbd: list[int] = []
+        self._num_original = 0
+        self._watches: list[list[int]] = [[] for _ in range(2 * self.num_vars)]
+
+        self._assign = [_UNASSIGNED] * self.num_vars
+        self._level = [0] * self.num_vars
+        self._reason: list[int] = [-1] * self.num_vars
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._queue_head = 0
+
+        self._activity = [0.0] * self.num_vars
+        self._var_inc = 1.0
+        self._heap: list[tuple[float, int]] = []
+        self._saved_phase = [self.config.default_phase] * self.num_vars
+
+        self._ok = True
+        self._trivially_unsat = False
+        self._load(cnf)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _load(self, cnf: Cnf) -> None:
+        for clause in cnf.clauses:
+            literals = self._convert_clause(clause)
+            if literals is None:
+                continue  # clause is a tautology
+            if not literals:
+                self._trivially_unsat = True
+                return
+            if len(literals) == 1:
+                if not self._enqueue(literals[0], -1):
+                    self._trivially_unsat = True
+                    return
+            else:
+                self._attach_clause(literals, lbd=0, learned=False)
+        self._num_original = len(self._clauses)
+        for var in range(self.num_vars):
+            heappush(self._heap, (0.0, var))
+
+    def _convert_clause(self, clause: list[int]) -> list[int] | None:
+        literals: list[int] = []
+        seen: set[int] = set()
+        for dimacs in clause:
+            var = abs(dimacs) - 1
+            if var >= self.num_vars:
+                raise SolverError(f"literal {dimacs} out of range")
+            literal = 2 * var + (1 if dimacs < 0 else 0)
+            if literal in seen:
+                continue
+            if literal ^ 1 in seen:
+                return None  # tautological clause
+            seen.add(literal)
+            literals.append(literal)
+        return literals
+
+    def _attach_clause(self, literals: list[int], lbd: int, learned: bool) -> int:
+        index = len(self._clauses)
+        self._clauses.append(literals)
+        self._clause_lbd.append(lbd if learned else 0)
+        self._watches[literals[0]].append(index)
+        self._watches[literals[1]].append(index)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Assignment primitives
+    # ------------------------------------------------------------------ #
+
+    def _lit_value(self, literal: int) -> int:
+        value = self._assign[literal >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (literal & 1)
+
+    def _enqueue(self, literal: int, reason: int) -> bool:
+        value = self._lit_value(literal)
+        if value == _FALSE:
+            return False
+        if value == _TRUE:
+            return True
+        var = literal >> 1
+        self._assign[var] = _TRUE if (literal & 1) == 0 else _FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(literal)
+        return True
+
+    def _propagate(self) -> int:
+        """Run unit propagation; return a conflicting clause index or -1."""
+        watches = self._watches
+        clauses = self._clauses
+        while self._queue_head < len(self._trail):
+            literal = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.stats.propagations += 1
+            false_literal = literal ^ 1
+            watch_list = watches[false_literal]
+            new_watch_list = []
+            index = 0
+            length = len(watch_list)
+            while index < length:
+                clause_index = watch_list[index]
+                index += 1
+                clause = clauses[clause_index]
+                # Ensure the false literal is in position 1.
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == _TRUE:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for position in range(2, len(clause)):
+                    candidate = clause[position]
+                    if self._lit_value(candidate) != _FALSE:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        watches[clause[1]].append(clause_index)
+                        found = True
+                        break
+                if found:
+                    continue
+                # No replacement: clause is unit or conflicting.
+                new_watch_list.append(clause_index)
+                if self._lit_value(first) == _FALSE:
+                    # Conflict: keep the remaining watchers and bail out.
+                    new_watch_list.extend(watch_list[index:])
+                    watches[false_literal] = new_watch_list
+                    return clause_index
+                self._enqueue(first, clause_index)
+            watches[false_literal] = new_watch_list
+        return -1
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis
+    # ------------------------------------------------------------------ #
+
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int, int]:
+        """First-UIP analysis; returns (learned clause, backtrack level, lbd)."""
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * self.num_vars
+        counter = 0
+        literal = -1
+        index = len(self._trail) - 1
+        clause_index = conflict_index
+        current_level = len(self._trail_lim)
+
+        while True:
+            clause = self._clauses[clause_index]
+            start = 0 if literal == -1 else 1
+            for position in range(start, len(clause)):
+                reason_literal = clause[position]
+                var = reason_literal >> 1
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_variable(var)
+                if self._level[var] >= current_level:
+                    counter += 1
+                else:
+                    learned.append(reason_literal)
+            # Select the next literal to resolve on.
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            literal = self._trail[index]
+            index -= 1
+            var = literal >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause_index = self._reason[var]
+        learned[0] = literal ^ 1
+
+        # Learned-clause minimisation: drop literals implied by the rest.
+        minimized = [learned[0]]
+        marked = {lit >> 1 for lit in learned}
+        for reason_literal in learned[1:]:
+            var = reason_literal >> 1
+            reason = self._reason[var]
+            if reason == -1:
+                minimized.append(reason_literal)
+                continue
+            implied = all(((other >> 1) in marked or self._level[other >> 1] == 0)
+                          for other in self._clauses[reason]
+                          if (other >> 1) != var)
+            if not implied:
+                minimized.append(reason_literal)
+        learned = minimized
+
+        # Compute the backtrack level and the LBD (glue) of the clause.
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            max_index = 1
+            for position in range(2, len(learned)):
+                if (self._level[learned[position] >> 1]
+                        > self._level[learned[max_index] >> 1]):
+                    max_index = position
+            learned[1], learned[max_index] = learned[max_index], learned[1]
+            backtrack_level = self._level[learned[1] >> 1]
+        levels = {self._level[lit >> 1] for lit in learned}
+        return learned, backtrack_level, len(levels)
+
+    def _bump_variable(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for index in range(self.num_vars):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+        heappush(self._heap, (-self._activity[var], var))
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self.config.var_decay
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        boundary = self._trail_lim[level]
+        for position in range(len(self._trail) - 1, boundary - 1, -1):
+            literal = self._trail[position]
+            var = literal >> 1
+            if self.config.phase_saving:
+                self._saved_phase[var] = (literal & 1) == 0
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = -1
+            heappush(self._heap, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+
+    def _pick_branch_variable(self) -> int:
+        while self._heap:
+            _, var = heappop(self._heap)
+            if self._assign[var] == _UNASSIGNED:
+                return var
+        for var in range(self.num_vars):
+            if self._assign[var] == _UNASSIGNED:
+                return var
+        return -1
+
+    def _decide(self) -> bool:
+        var = self._pick_branch_variable()
+        if var < 0:
+            return False
+        self.stats.decisions += 1
+        self._trail_lim.append(len(self._trail))
+        self.stats.max_decision_level = max(self.stats.max_decision_level,
+                                            len(self._trail_lim))
+        phase = self._saved_phase[var]
+        literal = 2 * var + (0 if phase else 1)
+        self._enqueue(literal, -1)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Learned-clause database reduction
+    # ------------------------------------------------------------------ #
+
+    def _reduce_database(self) -> None:
+        learned_indices = list(range(self._num_original, len(self._clauses)))
+        if len(learned_indices) < 20:
+            return
+        locked = {self._reason[literal >> 1] for literal in self._trail}
+        candidates = [index for index in learned_indices
+                      if index not in locked
+                      and len(self._clauses[index]) > 2
+                      and self._clause_lbd[index] > self.config.max_lbd_keep]
+        candidates.sort(key=lambda index: self._clause_lbd[index], reverse=True)
+        to_delete = set(candidates[: int(len(candidates)
+                                         * self.config.reduce_keep_fraction)])
+        if not to_delete:
+            return
+        self.stats.deleted_clauses += len(to_delete)
+
+        keep_pairs = [(clause, self._clause_lbd[index])
+                      for index, clause in enumerate(self._clauses)
+                      if index not in to_delete]
+        old_to_new = {}
+        new_index = 0
+        for index in range(len(self._clauses)):
+            if index not in to_delete:
+                old_to_new[index] = new_index
+                new_index += 1
+        self._clauses = [pair[0] for pair in keep_pairs]
+        self._clause_lbd = [pair[1] for pair in keep_pairs]
+        self._watches = [[] for _ in range(2 * self.num_vars)]
+        for index, clause in enumerate(self._clauses):
+            self._watches[clause[0]].append(index)
+            self._watches[clause[1]].append(index)
+        self._reason = [old_to_new.get(reason, -1) if reason >= 0 else -1
+                        for reason in self._reason]
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def solve(self, max_conflicts: int | None = None,
+              max_decisions: int | None = None,
+              time_limit: float | None = None) -> SolveResult:
+        """Run the solver, optionally under conflict/decision/time budgets.
+
+        When a budget is exhausted the result status is ``"UNKNOWN"``.
+        """
+        start_time = time.perf_counter()
+        if self._trivially_unsat or not self._ok:
+            self.stats.solve_time = time.perf_counter() - start_time
+            return SolveResult(status="UNSAT", model=None, stats=self.stats)
+
+        restart_count = 0
+        conflicts_until_restart = self._next_restart_budget(restart_count)
+        conflicts_since_reduce = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict >= 0:
+                self.stats.conflicts += 1
+                conflicts_until_restart -= 1
+                conflicts_since_reduce += 1
+                if not self._trail_lim:
+                    self.stats.solve_time = time.perf_counter() - start_time
+                    return SolveResult(status="UNSAT", model=None, stats=self.stats)
+                learned, backtrack_level, lbd = self._analyze(conflict)
+                self._backtrack(backtrack_level)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], -1)
+                else:
+                    index = self._attach_clause(learned, lbd=lbd, learned=True)
+                    self.stats.learned_clauses += 1
+                    self._enqueue(learned[0], index)
+                self._decay_activities()
+                if max_conflicts is not None and self.stats.conflicts >= max_conflicts:
+                    self.stats.solve_time = time.perf_counter() - start_time
+                    return SolveResult(status="UNKNOWN", model=None, stats=self.stats)
+                if time_limit is not None and \
+                        time.perf_counter() - start_time > time_limit:
+                    self.stats.solve_time = time.perf_counter() - start_time
+                    return SolveResult(status="UNKNOWN", model=None, stats=self.stats)
+                continue
+
+            if conflicts_until_restart <= 0:
+                restart_count += 1
+                self.stats.restarts += 1
+                conflicts_until_restart = self._next_restart_budget(restart_count)
+                self._backtrack(0)
+                if conflicts_since_reduce >= self.config.reduce_interval:
+                    conflicts_since_reduce = 0
+                    self._reduce_database()
+                continue
+
+            if max_decisions is not None and self.stats.decisions >= max_decisions:
+                self.stats.solve_time = time.perf_counter() - start_time
+                return SolveResult(status="UNKNOWN", model=None, stats=self.stats)
+            if time_limit is not None and \
+                    time.perf_counter() - start_time > time_limit:
+                self.stats.solve_time = time.perf_counter() - start_time
+                return SolveResult(status="UNKNOWN", model=None, stats=self.stats)
+
+            if not self._decide():
+                model = {var + 1: self._assign[var] == _TRUE
+                         for var in range(self.num_vars)}
+                self.stats.solve_time = time.perf_counter() - start_time
+                return SolveResult(status="SAT", model=model, stats=self.stats)
+
+    def _next_restart_budget(self, restart_count: int) -> float:
+        if self.config.restart_strategy == "none":
+            return float("inf")
+        if self.config.restart_strategy == "geometric":
+            return self.config.restart_interval * (1.5 ** restart_count)
+        return self.config.restart_interval * _luby(restart_count)
+
+
+def solve_cnf(cnf: Cnf, config: SolverConfig | None = None,
+              max_conflicts: int | None = None,
+              max_decisions: int | None = None,
+              time_limit: float | None = None) -> SolveResult:
+    """Convenience wrapper: build a :class:`CdclSolver` and run it once."""
+    solver = CdclSolver(cnf, config=config)
+    return solver.solve(max_conflicts=max_conflicts, max_decisions=max_decisions,
+                        time_limit=time_limit)

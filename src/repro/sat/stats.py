@@ -1,0 +1,61 @@
+"""Solver statistics.
+
+``decisions`` is the quantity the paper calls *variable branching times*: it
+is used as the reward signal of the RL agent (Eq. 3) and as the
+solving-complexity proxy throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated during one solver run."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    max_decision_level: int = 0
+    solve_time: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the statistics as a plain dictionary (for reports)."""
+        return {
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "max_decision_level": self.max_decision_level,
+            "solve_time": self.solve_time,
+        }
+
+
+@dataclass
+class AggregateStats:
+    """Sum of solver statistics over a set of instances (for the harnesses)."""
+
+    total_decisions: int = 0
+    total_conflicts: int = 0
+    total_propagations: int = 0
+    total_time: float = 0.0
+    solved: int = 0
+    timeouts: int = 0
+    per_instance: list[SolverStats] = field(default_factory=list)
+
+    def add(self, stats: SolverStats, solved: bool) -> None:
+        self.total_decisions += stats.decisions
+        self.total_conflicts += stats.conflicts
+        self.total_propagations += stats.propagations
+        self.total_time += stats.solve_time
+        self.per_instance.append(stats)
+        if solved:
+            self.solved += 1
+        else:
+            self.timeouts += 1

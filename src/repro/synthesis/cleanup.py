@@ -1,0 +1,17 @@
+"""Dangling-node sweep.
+
+This is the ``cleanup``/``sweep`` step of classic synthesis flows: it removes
+AND nodes that no longer sit in the transitive fanin of any primary output
+and rebuilds the structural-hash table.  All other operations call it
+implicitly through :meth:`repro.aig.AIG.cleanup`; it is exposed here so that
+recipes can invoke it explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import AIG
+
+
+def cleanup(aig: AIG) -> AIG:
+    """Return a functionally identical AIG without dangling AND nodes."""
+    return aig.cleanup()

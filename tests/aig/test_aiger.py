@@ -1,0 +1,104 @@
+"""Tests for ASCII AIGER reading and writing."""
+
+import pytest
+
+from repro.aig import AIG, lit_not, read_aiger, write_aiger
+from repro.aig.aiger import read_aiger_file, write_aiger_file
+from repro.aig.simulate import evaluate
+from repro.errors import AigerFormatError
+
+
+def _build_full_adder():
+    aig = AIG(name="full_adder")
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    cin = aig.add_pi("cin")
+    s = aig.add_xor(aig.add_xor(a, b), cin)
+    cout = aig.add_maj(a, b, cin)
+    aig.add_po(s, "sum")
+    aig.add_po(cout, "cout")
+    return aig
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_interface(self):
+        aig = _build_full_adder()
+        text = write_aiger(aig)
+        parsed = read_aiger(text)
+        assert parsed.num_pis == 3
+        assert parsed.num_pos == 2
+        assert parsed.pi_names == ["a", "b", "cin"]
+        assert parsed.po_names == ["sum", "cout"]
+
+    def test_roundtrip_preserves_function(self):
+        aig = _build_full_adder()
+        parsed = read_aiger(write_aiger(aig))
+        for pattern in range(8):
+            bits = [bool((pattern >> i) & 1) for i in range(3)]
+            assert evaluate(aig, bits) == evaluate(parsed, bits)
+
+    def test_roundtrip_with_complemented_output(self):
+        aig = AIG()
+        a = aig.add_pi()
+        b = aig.add_pi()
+        aig.add_po(lit_not(aig.add_and(a, b)))
+        parsed = read_aiger(write_aiger(aig))
+        for pattern in range(4):
+            bits = [bool((pattern >> i) & 1) for i in range(2)]
+            assert evaluate(aig, bits) == evaluate(parsed, bits)
+
+    def test_file_roundtrip(self, tmp_path):
+        aig = _build_full_adder()
+        path = tmp_path / "adder.aag"
+        write_aiger_file(aig, path)
+        parsed = read_aiger_file(path)
+        assert parsed.name == "adder"
+        assert parsed.num_pos == 2
+
+    def test_constant_output(self):
+        aig = AIG()
+        aig.add_pi()
+        aig.add_po(1)  # constant true
+        parsed = read_aiger(write_aiger(aig))
+        assert evaluate(parsed, [False]) == [True]
+
+
+class TestHeaderParsing:
+    def test_minimal_file(self):
+        text = "aag 1 1 0 1 0\n2\n2\n"
+        aig = read_aiger(text)
+        assert aig.num_pis == 1
+        assert aig.num_pos == 1
+        assert evaluate(aig, [True]) == [True]
+
+    def test_and_gate_file(self):
+        text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+        aig = read_aiger(text)
+        assert evaluate(aig, [True, True]) == [True]
+        assert evaluate(aig, [True, False]) == [False]
+
+    def test_rejects_empty(self):
+        with pytest.raises(AigerFormatError):
+            read_aiger("")
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(AigerFormatError):
+            read_aiger("aig 1 1 0 1 0\n2\n2\n")
+        with pytest.raises(AigerFormatError):
+            read_aiger("aag x 1 0 1 0\n2\n2\n")
+
+    def test_rejects_latches(self):
+        with pytest.raises(AigerFormatError):
+            read_aiger("aag 1 0 1 0 0\n2 3\n")
+
+    def test_rejects_truncated_body(self):
+        with pytest.raises(AigerFormatError):
+            read_aiger("aag 3 2 0 1 1\n2\n4\n6\n")
+
+    def test_rejects_complemented_input(self):
+        with pytest.raises(AigerFormatError):
+            read_aiger("aag 1 1 0 1 0\n3\n2\n")
+
+    def test_rejects_undefined_literal(self):
+        with pytest.raises(AigerFormatError):
+            read_aiger("aag 3 2 0 1 1\n2\n4\n6\n6 2 10\n")

@@ -1,0 +1,118 @@
+"""Tests for bit-parallel AIG simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, lit_not
+from repro.aig.simulate import (
+    evaluate,
+    exhaustive_pi_words,
+    po_truth_tables,
+    po_values,
+    simulate,
+    simulate_exhaustive,
+    simulate_random,
+)
+from repro.errors import AigError
+from repro.logic.truthtable import tt_and, tt_from_function, tt_var, tt_xor
+
+
+def _build_xor_and():
+    aig = AIG()
+    a = aig.add_pi()
+    b = aig.add_pi()
+    aig.add_po(aig.add_xor(a, b))
+    aig.add_po(aig.add_and(a, b))
+    return aig
+
+
+class TestSimulate:
+    def test_rejects_bad_shape(self):
+        aig = _build_xor_and()
+        with pytest.raises(AigError):
+            simulate(aig, np.zeros((3, 1), dtype=np.uint64))
+
+    def test_exhaustive_words_patterns(self):
+        words = exhaustive_pi_words(3)
+        assert words.shape == (3, 1)
+        # Pattern i has bit i of each PI row equal to bit of i.
+        for pattern in range(8):
+            for pi in range(3):
+                bit = (int(words[pi, 0]) >> pattern) & 1
+                assert bit == ((pattern >> pi) & 1)
+
+    def test_exhaustive_rejects_too_many_pis(self):
+        with pytest.raises(AigError):
+            exhaustive_pi_words(17)
+
+    def test_po_truth_tables_match_logic(self):
+        aig = _build_xor_and()
+        tables = po_truth_tables(aig)
+        assert tables[0] == tt_xor(tt_var(0, 2), tt_var(1, 2), 2)
+        assert tables[1] == tt_and(tt_var(0, 2), tt_var(1, 2), 2)
+
+    def test_complemented_po(self):
+        aig = AIG()
+        a = aig.add_pi()
+        b = aig.add_pi()
+        aig.add_po(lit_not(aig.add_and(a, b)))
+        tables = po_truth_tables(aig)
+        assert tables[0] == tt_from_function(lambda x, y: not (x and y), 2)
+
+    def test_simulate_random_shape(self):
+        aig = _build_xor_and()
+        values = simulate_random(aig, num_patterns=128, seed=1)
+        assert values.shape == (aig.num_vars, 2)
+
+    def test_simulate_random_deterministic_seed(self):
+        aig = _build_xor_and()
+        first = simulate_random(aig, seed=7)
+        second = simulate_random(aig, seed=7)
+        assert np.array_equal(first, second)
+
+    def test_po_values_extraction(self):
+        aig = _build_xor_and()
+        values = simulate_exhaustive(aig)
+        outputs = po_values(aig, values)
+        assert outputs.shape == (2, 1)
+
+
+class TestEvaluate:
+    def test_dict_assignment(self):
+        aig = _build_xor_and()
+        assignment = {aig.pis[0]: True, aig.pis[1]: False}
+        assert evaluate(aig, assignment) == [True, False]
+
+    def test_rejects_short_list(self):
+        aig = _build_xor_and()
+        with pytest.raises(AigError):
+            evaluate(aig, [True])
+
+
+class TestSimulationAgainstEvaluate:
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=60, deadline=None)
+    def test_exhaustive_matches_pointwise_eval(self, num_pis, seed):
+        rng = np.random.default_rng(seed)
+        aig = AIG()
+        inputs = [aig.add_pi() for _ in range(num_pis)]
+        literals = list(inputs)
+        # Build a small random structure.
+        for _ in range(6):
+            a = literals[rng.integers(len(literals))]
+            b = literals[rng.integers(len(literals))]
+            choice = rng.integers(3)
+            if choice == 0:
+                literals.append(aig.add_and(a, b))
+            elif choice == 1:
+                literals.append(aig.add_or(a, lit_not(b)))
+            else:
+                literals.append(aig.add_xor(a, b))
+        aig.add_po(literals[-1])
+        tables = po_truth_tables(aig)
+        for pattern in range(1 << num_pis):
+            bits = [bool((pattern >> i) & 1) for i in range(num_pis)]
+            expected = bool((tables[0] >> pattern) & 1)
+            assert evaluate(aig, bits) == [expected]

@@ -1,0 +1,68 @@
+"""Tests for AIG structural statistics."""
+
+from repro.aig import AIG, compute_stats, lit_not
+from repro.aig.stats import balance_ratio
+
+
+def _chain_aig(length):
+    """A maximally unbalanced AND chain."""
+    aig = AIG()
+    prev = aig.add_pi()
+    for _ in range(length):
+        prev = aig.add_and(prev, aig.add_pi())
+    aig.add_po(prev)
+    return aig
+
+
+def _balanced_aig(num_leaves):
+    aig = AIG()
+    inputs = [aig.add_pi() for _ in range(num_leaves)]
+    aig.add_po(aig.add_and_multi(inputs))
+    return aig
+
+
+class TestBalanceRatio:
+    def test_empty_aig(self):
+        assert balance_ratio(AIG()) == 0.0
+
+    def test_balanced_tree_is_zero(self):
+        aig = _balanced_aig(8)
+        assert balance_ratio(aig) == 0.0
+
+    def test_chain_is_unbalanced(self):
+        aig = _chain_aig(6)
+        assert balance_ratio(aig) > 0.5
+
+    def test_chain_more_unbalanced_than_tree(self):
+        assert balance_ratio(_chain_aig(7)) > balance_ratio(_balanced_aig(8))
+
+
+class TestComputeStats:
+    def test_counts(self):
+        aig = AIG()
+        a = aig.add_pi()
+        b = aig.add_pi()
+        aig.add_po(lit_not(aig.add_and(lit_not(a), b)))
+        stats = compute_stats(aig)
+        assert stats.num_pis == 2
+        assert stats.num_pos == 1
+        assert stats.num_ands == 1
+        assert stats.num_inverters == 2
+        assert stats.num_wires == 3
+        assert stats.depth == 1
+
+    def test_fractions_sum_to_one(self):
+        aig = _chain_aig(5)
+        stats = compute_stats(aig)
+        assert abs(stats.and_fraction + stats.not_fraction - 1.0) < 1e-12
+
+    def test_empty_fractions(self):
+        stats = compute_stats(AIG())
+        assert stats.and_fraction == 0.0
+        assert stats.not_fraction == 0.0
+        assert stats.num_gates == 0
+
+    def test_depth_of_balanced_tree(self):
+        stats = compute_stats(_balanced_aig(8))
+        assert stats.depth == 3
+        assert stats.num_ands == 7

@@ -1,0 +1,115 @@
+"""Tests for the datapath circuit generators."""
+
+import pytest
+
+from repro.aig.simulate import evaluate
+from repro.benchgen.datapath import (
+    array_multiplier,
+    carry_select_adder,
+    comparator,
+    mux_tree,
+    parity_tree,
+    random_alu,
+    ripple_carry_adder,
+)
+from repro.errors import BenchmarkError
+
+
+def _bits_to_int(bits):
+    return sum(1 << i for i, bit in enumerate(bits) if bit)
+
+
+def _int_to_bits(value, width):
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [1, 3, 4])
+    def test_ripple_adder_exhaustive(self, width):
+        aig = ripple_carry_adder(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                outputs = evaluate(aig, _int_to_bits(a, width) + _int_to_bits(b, width))
+                assert _bits_to_int(outputs) == a + b
+
+    @pytest.mark.parametrize("width,block", [(4, 2), (5, 3)])
+    def test_carry_select_adder_matches_ripple(self, width, block):
+        ripple = ripple_carry_adder(width)
+        select = carry_select_adder(width, block=block)
+        assert select.num_pis == ripple.num_pis
+        assert select.num_pos == ripple.num_pos
+        for a in range(1 << width):
+            for b in range(1 << width):
+                bits = _int_to_bits(a, width) + _int_to_bits(b, width)
+                assert evaluate(select, bits) == evaluate(ripple, bits)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(BenchmarkError):
+            ripple_carry_adder(0)
+        with pytest.raises(BenchmarkError):
+            carry_select_adder(4, block=0)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_exhaustive(self, width):
+        aig = array_multiplier(width)
+        assert aig.num_pos == 2 * width
+        for a in range(1 << width):
+            for b in range(1 << width):
+                outputs = evaluate(aig, _int_to_bits(a, width) + _int_to_bits(b, width))
+                assert _bits_to_int(outputs) == a * b
+
+
+class TestComparator:
+    @pytest.mark.parametrize("operation,reference", [
+        ("lt", lambda a, b: a < b),
+        ("eq", lambda a, b: a == b),
+        ("le", lambda a, b: a <= b),
+    ])
+    def test_exhaustive(self, operation, reference):
+        width = 3
+        aig = comparator(width, operation=operation)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                bits = _int_to_bits(a, width) + _int_to_bits(b, width)
+                assert evaluate(aig, bits) == [reference(a, b)]
+
+    def test_rejects_unknown_operation(self):
+        with pytest.raises(BenchmarkError):
+            comparator(4, operation="gt")
+
+
+class TestOtherCircuits:
+    def test_mux_tree(self):
+        select_bits = 2
+        aig = mux_tree(select_bits)
+        num_data = 1 << select_bits
+        for select in range(num_data):
+            for data in range(1 << num_data):
+                bits = _int_to_bits(select, select_bits) + _int_to_bits(data, num_data)
+                expected = bool((data >> select) & 1)
+                assert evaluate(aig, bits) == [expected]
+
+    def test_parity_tree(self):
+        width = 6
+        aig = parity_tree(width)
+        for value in range(1 << width):
+            bits = _int_to_bits(value, width)
+            assert evaluate(aig, bits) == [bool(sum(bits) % 2)]
+
+    def test_alu_operations(self):
+        width = 3
+        aig = random_alu(width)
+        for op_code, reference in enumerate([
+            lambda a, b: (a + b) & ((1 << width) - 1),
+            lambda a, b: a & b,
+            lambda a, b: a | b,
+            lambda a, b: a ^ b,
+        ]):
+            op_bits = [bool(op_code & 1), bool(op_code & 2)]
+            for a in range(1 << width):
+                for b in range(1 << width):
+                    bits = op_bits + _int_to_bits(a, width) + _int_to_bits(b, width)
+                    outputs = evaluate(aig, bits)
+                    assert _bits_to_int(outputs) == reference(a, b)

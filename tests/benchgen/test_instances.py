@@ -1,0 +1,135 @@
+"""Tests for LEC / ATPG instance construction and suite generation."""
+
+import pytest
+
+from repro.aig.simulate import po_truth_tables
+from repro.benchgen import (
+    CsatInstance,
+    atpg_instance,
+    build_miter,
+    generate_test_suite,
+    generate_training_suite,
+    inject_stuck_at,
+    lec_instance,
+    mutate_aig,
+)
+from repro.benchgen.datapath import parity_tree, ripple_carry_adder
+from repro.cnf import tseitin_encode
+from repro.errors import BenchmarkError
+from repro.sat import solve_cnf
+from tests.helpers import random_aig
+
+
+class TestMiter:
+    def test_self_miter_is_constant_false(self):
+        aig = ripple_carry_adder(3)
+        miter = build_miter(aig, aig)
+        assert miter.num_pos == 1
+        tables = po_truth_tables(miter)
+        assert tables[0] == 0
+
+    def test_interface_mismatch_rejected(self):
+        with pytest.raises(BenchmarkError):
+            build_miter(ripple_carry_adder(3), ripple_carry_adder(4))
+
+    def test_mutated_miter_is_not_constant_false(self):
+        aig = ripple_carry_adder(3)
+        miter = build_miter(aig, mutate_aig(aig, seed=3))
+        tables = po_truth_tables(miter)
+        assert tables[0] != 0
+
+
+class TestMutation:
+    def test_mutation_preserves_interface(self):
+        aig = random_aig(num_pis=6, num_nodes=30, seed=1)
+        mutated = mutate_aig(aig, seed=5)
+        assert mutated.num_pis == aig.num_pis
+        assert mutated.num_pos == aig.num_pos
+
+    def test_mutation_rejects_empty(self):
+        from repro.aig import AIG
+        empty = AIG()
+        empty.add_pi()
+        with pytest.raises(BenchmarkError):
+            mutate_aig(empty)
+
+
+class TestLecInstances:
+    def test_equivalent_instance_is_unsat(self):
+        circuit = ripple_carry_adder(3)
+        instance = lec_instance(circuit, equivalent=True)
+        result = solve_cnf(tseitin_encode(instance))
+        assert result.is_unsat
+
+    def test_non_equivalent_instance_is_sat(self):
+        circuit = ripple_carry_adder(3)
+        instance = lec_instance(circuit, equivalent=False, seed=2)
+        result = solve_cnf(tseitin_encode(instance))
+        assert result.is_sat
+
+    def test_parity_equivalence_is_unsat(self):
+        circuit = parity_tree(8)
+        instance = lec_instance(circuit, equivalent=True)
+        result = solve_cnf(tseitin_encode(instance))
+        assert result.is_unsat
+
+
+class TestAtpgInstances:
+    def test_stuck_at_fault_changes_function(self):
+        circuit = ripple_carry_adder(3)
+        node = list(circuit.and_vars())[2]
+        faulty = inject_stuck_at(circuit, node, 1)
+        assert po_truth_tables(faulty) != po_truth_tables(circuit)
+
+    def test_stuck_at_rejects_bad_arguments(self):
+        circuit = ripple_carry_adder(2)
+        with pytest.raises(BenchmarkError):
+            inject_stuck_at(circuit, 0, 1)
+        with pytest.raises(BenchmarkError):
+            inject_stuck_at(circuit, 1, 2)
+
+    def test_atpg_instance_solves(self):
+        circuit = ripple_carry_adder(3)
+        instance = atpg_instance(circuit, seed=4)
+        result = solve_cnf(tseitin_encode(instance))
+        # The fault is either testable (SAT) or redundant (UNSAT); both are
+        # legal outcomes, but the solver must terminate conclusively.
+        assert result.status in ("SAT", "UNSAT")
+
+    def test_pi_stuck_at_fault(self):
+        circuit = ripple_carry_adder(2)
+        faulty = inject_stuck_at(circuit, circuit.pis[0], 0)
+        assert faulty.num_pis == circuit.num_pis
+        assert po_truth_tables(faulty) != po_truth_tables(circuit)
+
+
+class TestSuites:
+    def test_training_suite_composition(self):
+        suite = generate_training_suite(num_instances=10, seed=3)
+        assert len(suite) == 10
+        assert all(isinstance(instance, CsatInstance) for instance in suite)
+        kinds = {instance.kind for instance in suite}
+        assert kinds <= {"lec", "atpg"}
+        assert all(instance.difficulty == "easy" for instance in suite)
+
+    def test_test_suite_is_larger_scale(self):
+        easy = generate_training_suite(num_instances=6, seed=0)
+        hard = generate_test_suite(num_instances=6, seed=0)
+        average_easy = sum(i.aig.num_ands for i in easy) / len(easy)
+        average_hard = sum(i.aig.num_ands for i in hard) / len(hard)
+        assert average_hard > average_easy
+
+    def test_suites_are_deterministic(self):
+        first = generate_training_suite(num_instances=5, seed=7)
+        second = generate_training_suite(num_instances=5, seed=7)
+        assert [i.name for i in first] == [i.name for i in second]
+        assert [i.aig.num_ands for i in first] == [i.aig.num_ands for i in second]
+
+    def test_expected_labels_are_consistent(self):
+        suite = generate_training_suite(num_instances=12, seed=9)
+        for instance in suite:
+            if instance.expected == "unsat":
+                # Only LEC equivalence families are labelled UNSAT up front.
+                assert instance.kind == "lec"
+                assert instance.metadata.get("family") in (
+                    "adder_equivalence", "mult_commutativity", "self_equivalence")

@@ -1,0 +1,89 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.cnf import Cnf, read_dimacs, write_dimacs
+from repro.errors import CnfError
+
+
+class TestCnf:
+    def test_new_var_and_add_clause(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        b = cnf.new_var()
+        cnf.add_clause([a, -b])
+        assert cnf.num_vars == 2
+        assert cnf.num_clauses == 1
+
+    def test_rejects_invalid_literals(self):
+        cnf = Cnf(2)
+        with pytest.raises(CnfError):
+            cnf.add_clause([0])
+        with pytest.raises(CnfError):
+            cnf.add_clause([3])
+        with pytest.raises(CnfError):
+            cnf.add_clause([])
+
+    def test_rejects_negative_num_vars(self):
+        with pytest.raises(CnfError):
+            Cnf(-1)
+
+    def test_evaluate(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        assert cnf.evaluate([False, True]) is True
+        assert cnf.evaluate([True, False]) is False
+        assert cnf.evaluate({1: True, 2: True}) is True
+
+    def test_evaluate_rejects_partial(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, 2])
+        with pytest.raises(CnfError):
+            cnf.evaluate([True])
+        with pytest.raises(CnfError):
+            cnf.evaluate({1: False})
+
+    def test_copy_is_deep(self):
+        cnf = Cnf(1)
+        cnf.add_clause([1])
+        clone = cnf.copy()
+        clone.add_clause([-1])
+        assert cnf.num_clauses == 1
+        assert clone.num_clauses == 2
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3])
+        cnf.add_clause([-1, -3])
+        parsed = read_dimacs(write_dimacs(cnf))
+        assert parsed.num_vars == 3
+        assert parsed.clauses == cnf.clauses
+
+    def test_write_to_file(self, tmp_path):
+        cnf = Cnf(1)
+        cnf.add_clause([1])
+        path = tmp_path / "simple.cnf"
+        write_dimacs(cnf, path)
+        parsed = read_dimacs(path)
+        assert parsed.clauses == [[1]]
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 2\n1 2 0\nc another\n-1 0\n"
+        parsed = read_dimacs(text)
+        assert parsed.num_clauses == 2
+
+    def test_rejects_missing_problem_line(self):
+        with pytest.raises(CnfError):
+            read_dimacs("1 2 0\n")
+
+    def test_rejects_wrong_clause_count(self):
+        with pytest.raises(CnfError):
+            read_dimacs("p cnf 2 3\n1 0\n2 0\n")
+
+    def test_rejects_malformed_problem_line(self):
+        with pytest.raises(CnfError):
+            read_dimacs("p dnf 2 1\n1 0\n")

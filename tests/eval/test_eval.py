@@ -1,0 +1,99 @@
+"""Tests for the experiment harnesses (Table I, Fig. 4, Fig. 5)."""
+
+import pytest
+
+from repro.benchgen import generate_training_suite
+from repro.eval import (
+    cactus_points,
+    dataset_statistics,
+    format_cactus,
+    format_table,
+    run_ablation,
+    run_comparison,
+)
+from repro.rl import RandomAgent
+from repro.sat import kissat_like
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return generate_training_suite(num_instances=4, seed=11)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["A", "B"], [["x", 1.5], ["yy", 2]], title="T")
+        assert "T" in text
+        assert "1.50" in text
+        assert "yy" in text
+
+    def test_format_cactus(self):
+        text = format_cactus({"Ours": [(1.0, 1), (3.0, 2)], "Baseline": []})
+        assert "Ours" in text
+        assert "2 instances" in text.replace("   ", " ").replace("  ", " ")
+
+
+class TestTable1:
+    def test_dataset_statistics_without_solving(self, tiny_suite):
+        stats = dataset_statistics(tiny_suite, solve=False)
+        assert stats.num_instances == 4
+        assert set(stats.metrics) == {"# Gates", "# PIs", "Depth", "# Clauses"}
+        for summary in stats.metrics.values():
+            assert summary["min"] <= summary["avg"] <= summary["max"]
+        assert "Table I" in stats.to_text()
+
+    def test_dataset_statistics_with_solving(self, tiny_suite):
+        stats = dataset_statistics(tiny_suite[:2], config=kissat_like(),
+                                   time_limit=20.0)
+        assert "Time (s)" in stats.metrics
+        assert stats.metrics["Time (s)"]["max"] >= 0.0
+
+
+class TestFig4Harness:
+    def test_run_comparison_structure(self, tiny_suite):
+        comparison = run_comparison(tiny_suite[:2], config=kissat_like(),
+                                    solver_name="kissat_like", time_limit=30.0)
+        assert set(comparison.runs) == {"Baseline", "Comp.", "Ours"}
+        for runs in comparison.runs.values():
+            assert len(runs) == 2
+        summary = comparison.summary_text()
+        assert "Fig. 4" in summary
+        assert comparison.total_runtime("Baseline") > 0.0
+        assert comparison.solved("Ours") >= 1
+
+    def test_reduction_percentage(self, tiny_suite):
+        comparison = run_comparison(tiny_suite[:2], config=kissat_like(),
+                                    time_limit=30.0)
+        # On tiny instances preprocessing can dominate, so the reduction may
+        # be strongly negative; the harness must still report a finite value
+        # bounded above by 100 %.
+        reduction = comparison.reduction_vs("Ours", "Baseline")
+        assert reduction <= 100.0
+        assert reduction == reduction  # not NaN
+        assert comparison.reduction_vs("Baseline", "Baseline") == pytest.approx(0.0)
+
+    def test_cactus_points_monotone(self, tiny_suite):
+        comparison = run_comparison(tiny_suite[:2], time_limit=30.0)
+        points = cactus_points(comparison.runs["Ours"])
+        times = [time for time, _ in points]
+        counts = [count for _, count in points]
+        assert times == sorted(times)
+        assert counts == sorted(counts)
+
+
+class TestFig5Harness:
+    def test_run_ablation_structure(self, tiny_suite):
+        ablation = run_ablation(tiny_suite[:2], config=kissat_like(),
+                                solver_name="kissat_like", time_limit=30.0,
+                                max_steps=3)
+        assert set(ablation.runs) == {"Ours", "w/o RL", "C. Mapper"}
+        summary = ablation.summary_text()
+        assert "Fig. 5" in summary
+        for setting in ablation.runs:
+            assert ablation.total_runtime(setting) > 0.0
+            assert ablation.total_decisions(setting) >= 0
+
+    def test_ablation_with_random_agent_as_ours(self, tiny_suite):
+        ablation = run_ablation(tiny_suite[:1], agent=RandomAgent(seed=2),
+                                time_limit=30.0, max_steps=2)
+        assert set(ablation.runs) == {"Ours", "w/o RL", "C. Mapper"}

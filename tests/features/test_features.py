@@ -1,0 +1,106 @@
+"""Tests for circuit features and the DeepGate2-substitute embedding."""
+
+import numpy as np
+import pytest
+
+from repro.aig import AIG
+from repro.features import DeepGateEmbedder, FEATURE_NAMES, circuit_features, state_vector
+from repro.features.deepgate import po_cone_sizes
+from repro.synthesis import balance, rewrite
+from tests.helpers import random_aig, ripple_adder_aig
+
+
+class TestCircuitFeatures:
+    def test_feature_count_and_names(self):
+        aig = random_aig(seed=0)
+        features = circuit_features(aig)
+        assert features.shape == (len(FEATURE_NAMES),)
+        assert len(FEATURE_NAMES) == 6
+
+    def test_initial_ratios_are_one(self):
+        aig = random_aig(seed=1)
+        features = circuit_features(aig, aig)
+        np.testing.assert_allclose(features[:3], 1.0)
+
+    def test_ratios_track_synthesis(self):
+        aig = random_aig(num_pis=7, num_nodes=60, seed=2)
+        rewritten = rewrite(aig)
+        features = circuit_features(rewritten, aig)
+        # Rewriting never increases the AND count on these circuits.
+        assert features[0] <= 1.0
+
+    def test_fractions_bounded(self):
+        aig = random_aig(seed=3)
+        features = circuit_features(aig)
+        assert 0.0 <= features[3] <= 1.0
+        assert 0.0 <= features[4] <= 1.0
+        assert abs(features[3] + features[4] - 1.0) < 1e-9
+
+    def test_balance_feature_drops_after_balance(self):
+        aig = AIG()
+        acc = aig.add_pi()
+        for _ in range(9):
+            acc = aig.add_and(acc, aig.add_pi())
+        aig.add_po(acc)
+        before = circuit_features(aig, aig)[5]
+        after = circuit_features(balance(aig), aig)[5]
+        assert after < before
+
+    def test_empty_aig_features(self):
+        features = circuit_features(AIG())
+        assert np.all(np.isfinite(features))
+
+    def test_state_vector_concatenation(self):
+        aig = random_aig(seed=4)
+        embedding = np.ones(32)
+        state = state_vector(aig, aig, embedding)
+        assert state.shape == (6 + 32,)
+        np.testing.assert_allclose(state[6:], 1.0)
+
+
+class TestDeepGateEmbedder:
+    def test_embedding_shape_and_norm(self):
+        embedder = DeepGateEmbedder(dim=64)
+        embedding = embedder.embed(random_aig(seed=5))
+        assert embedding.shape == (64,)
+        assert np.isclose(np.linalg.norm(embedding), 1.0)
+
+    def test_deterministic(self):
+        embedder = DeepGateEmbedder(dim=32, seed=7)
+        aig = random_aig(seed=6)
+        first = embedder.embed(aig)
+        second = DeepGateEmbedder(dim=32, seed=7).embed(aig)
+        np.testing.assert_allclose(first, second)
+
+    def test_different_circuits_differ(self):
+        embedder = DeepGateEmbedder(dim=32)
+        adder = embedder.embed(ripple_adder_aig(width=4))
+        random_circuit = embedder.embed(random_aig(num_pis=8, num_nodes=60, seed=8))
+        assert not np.allclose(adder, random_circuit)
+
+    def test_functionally_equal_structures_are_close(self):
+        embedder = DeepGateEmbedder(dim=32)
+        aig = random_aig(num_pis=7, num_nodes=50, seed=9)
+        original = embedder.embed(aig)
+        rewritten = embedder.embed(rewrite(aig))
+        # Same function, slightly different structure: embeddings should
+        # correlate far more strongly than unrelated circuits do.
+        assert float(np.dot(original, rewritten)) > 0.5
+
+    def test_empty_aig_embedding(self):
+        embedder = DeepGateEmbedder(dim=32)
+        embedding = embedder.embed(AIG())
+        assert embedding.shape == (32,)
+        assert np.all(np.isfinite(embedding))
+
+    def test_rejects_tiny_dimension(self):
+        with pytest.raises(ValueError):
+            DeepGateEmbedder(dim=4)
+
+    def test_po_cone_sizes(self):
+        aig = ripple_adder_aig(width=3)
+        sizes = po_cone_sizes(aig)
+        assert len(sizes) == aig.num_pos
+        assert all(size >= 0 for size in sizes)
+        # Higher sum bits depend on more logic than the lowest sum bit.
+        assert sizes[0] <= sizes[-1]

@@ -1,0 +1,63 @@
+"""Shared helpers for the test-suite: small circuit builders and checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aig import AIG, lit_not
+from repro.aig.simulate import po_truth_tables
+
+
+def random_aig(num_pis: int = 6, num_nodes: int = 30, num_pos: int = 2,
+               seed: int = 0, xor_bias: float = 0.3) -> AIG:
+    """Build a random combinational AIG for testing.
+
+    The construction mixes AND/OR/XOR/MUX compositions of previously created
+    literals so the result exercises shared fanout, complemented edges and
+    reconvergence.  ``xor_bias`` controls how XOR-rich the circuit is.
+    """
+    rng = np.random.default_rng(seed)
+    aig = AIG(name=f"random_{seed}")
+    literals = [aig.add_pi() for _ in range(num_pis)]
+    for _ in range(num_nodes):
+        a = literals[rng.integers(len(literals))]
+        b = literals[rng.integers(len(literals))]
+        if rng.random() < 0.3:
+            a = lit_not(a)
+        roll = rng.random()
+        if roll < xor_bias:
+            literals.append(aig.add_xor(a, b))
+        elif roll < xor_bias + 0.35:
+            literals.append(aig.add_and(a, b))
+        elif roll < xor_bias + 0.6:
+            literals.append(aig.add_or(a, b))
+        else:
+            c = literals[rng.integers(len(literals))]
+            literals.append(aig.add_mux(a, b, c))
+    for index in range(num_pos):
+        aig.add_po(literals[-(index + 1)])
+    return aig
+
+
+def ripple_adder_aig(width: int = 4) -> AIG:
+    """A ripple-carry adder with two width-bit operands (for deterministic tests)."""
+    aig = AIG(name=f"adder{width}")
+    a_bits = [aig.add_pi(f"a{i}") for i in range(width)]
+    b_bits = [aig.add_pi(f"b{i}") for i in range(width)]
+    carry = 0  # constant false literal
+    for a_bit, b_bit in zip(a_bits, b_bits):
+        partial = aig.add_xor(a_bit, b_bit)
+        aig.add_po(aig.add_xor(partial, carry))
+        carry = aig.add_or(aig.add_and(a_bit, b_bit), aig.add_and(partial, carry))
+    aig.add_po(carry, "cout")
+    return aig
+
+
+def functionally_equivalent(first: AIG, second: AIG) -> bool:
+    """Exhaustively compare two AIGs with identical PI/PO interfaces.
+
+    Requires at most 16 PIs; intended for the small circuits used in tests.
+    """
+    if first.num_pis != second.num_pis or first.num_pos != second.num_pos:
+        return False
+    return po_truth_tables(first) == po_truth_tables(second)

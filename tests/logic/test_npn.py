@@ -1,0 +1,73 @@
+"""Tests for NPN canonicalisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TruthTableError
+from repro.logic.npn import npn_canonical, npn_class_count, npn_transform
+from repro.logic.truthtable import tt_and, tt_mask, tt_not, tt_or, tt_var, tt_xor
+
+
+class TestNpnCanonical:
+    def test_transform_reproduces_canonical(self):
+        nvars = 3
+        f = tt_or(tt_and(tt_var(0, nvars), tt_var(1, nvars), nvars),
+                  tt_var(2, nvars), nvars)
+        canonical, transform = npn_canonical(f, nvars)
+        assert npn_transform(f, nvars, transform) == canonical
+
+    def test_and_or_same_class(self):
+        # AND and OR are NPN-equivalent (negate inputs and output).
+        nvars = 2
+        and_tt = tt_and(tt_var(0, nvars), tt_var(1, nvars), nvars)
+        or_tt = tt_or(tt_var(0, nvars), tt_var(1, nvars), nvars)
+        assert npn_canonical(and_tt, nvars)[0] == npn_canonical(or_tt, nvars)[0]
+
+    def test_xor_not_in_and_class(self):
+        nvars = 2
+        and_tt = tt_and(tt_var(0, nvars), tt_var(1, nvars), nvars)
+        xor_tt = tt_xor(tt_var(0, nvars), tt_var(1, nvars), nvars)
+        assert npn_canonical(and_tt, nvars)[0] != npn_canonical(xor_tt, nvars)[0]
+
+    def test_two_variable_class_count(self):
+        # The 16 two-input functions fall into exactly 4 NPN classes:
+        # constants, single variable, AND-like, XOR-like.
+        tables = list(range(16))
+        assert npn_class_count(tables, 2) == 4
+
+    def test_rejects_too_many_vars(self):
+        with pytest.raises(TruthTableError):
+            npn_canonical(0, 7)
+
+
+class TestNpnProperties:
+    @given(st.integers(min_value=0, max_value=tt_mask(3)))
+    @settings(max_examples=150, deadline=None)
+    def test_negated_output_same_class(self, table):
+        nvars = 3
+        assert (npn_canonical(table, nvars)[0]
+                == npn_canonical(tt_not(table, nvars), nvars)[0])
+
+    @given(st.integers(min_value=0, max_value=tt_mask(3)),
+           st.permutations(list(range(3))))
+    @settings(max_examples=100, deadline=None)
+    def test_permuted_inputs_same_class(self, table, perm):
+        nvars = 3
+        permuted = 0
+        for minterm in range(1 << nvars):
+            source = 0
+            for i in range(nvars):
+                if (minterm >> i) & 1:
+                    source |= 1 << perm[i]
+            if (table >> source) & 1:
+                permuted |= 1 << minterm
+        assert npn_canonical(table, nvars)[0] == npn_canonical(permuted, nvars)[0]
+
+    @given(st.integers(min_value=0, max_value=tt_mask(2)))
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_is_idempotent(self, table):
+        nvars = 2
+        canonical, _ = npn_canonical(table, nvars)
+        again, _ = npn_canonical(canonical, nvars)
+        assert canonical == again

@@ -1,0 +1,181 @@
+"""Unit and property tests for the truth-table substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TruthTableError
+from repro.logic.truthtable import (
+    tt_and,
+    tt_cofactor,
+    tt_const0,
+    tt_const1,
+    tt_count_ones,
+    tt_eval,
+    tt_expand,
+    tt_from_function,
+    tt_mask,
+    tt_not,
+    tt_or,
+    tt_shrink_to_support,
+    tt_support,
+    tt_to_string,
+    tt_var,
+    tt_xor,
+)
+
+
+class TestBasics:
+    def test_mask_widths(self):
+        assert tt_mask(0) == 0b1
+        assert tt_mask(1) == 0b11
+        assert tt_mask(2) == 0b1111
+        assert tt_mask(3) == 0xFF
+        assert tt_mask(4) == 0xFFFF
+
+    def test_constants(self):
+        assert tt_const0(3) == 0
+        assert tt_const1(3) == 0xFF
+
+    def test_mask_rejects_bad_nvars(self):
+        with pytest.raises(TruthTableError):
+            tt_mask(-1)
+        with pytest.raises(TruthTableError):
+            tt_mask(25)
+
+    def test_var_tables_two_vars(self):
+        # Variable 0 toggles fastest: pattern 0101...; variable 1: 0011...
+        assert tt_var(0, 2) == 0b1010
+        assert tt_var(1, 2) == 0b1100
+
+    def test_var_tables_three_vars(self):
+        assert tt_var(0, 3) == 0b10101010
+        assert tt_var(1, 3) == 0b11001100
+        assert tt_var(2, 3) == 0b11110000
+
+    def test_var_rejects_out_of_range(self):
+        with pytest.raises(TruthTableError):
+            tt_var(2, 2)
+        with pytest.raises(TruthTableError):
+            tt_var(-1, 2)
+
+    def test_and_or_xor_not_on_two_vars(self):
+        a = tt_var(0, 2)
+        b = tt_var(1, 2)
+        assert tt_and(a, b, 2) == 0b1000
+        assert tt_or(a, b, 2) == 0b1110
+        assert tt_xor(a, b, 2) == 0b0110
+        assert tt_not(a, 2) == 0b0101
+
+    def test_to_string(self):
+        assert tt_to_string(tt_var(0, 2), 2) == "1010"
+
+
+class TestEvalAndBuild:
+    def test_eval_and_gate(self):
+        and_tt = tt_and(tt_var(0, 2), tt_var(1, 2), 2)
+        assert tt_eval(and_tt, [1, 1], 2) is True
+        assert tt_eval(and_tt, [1, 0], 2) is False
+        assert tt_eval(and_tt, [0, 1], 2) is False
+        assert tt_eval(and_tt, [0, 0], 2) is False
+
+    def test_eval_rejects_short_assignment(self):
+        with pytest.raises(TruthTableError):
+            tt_eval(0b1000, [1], 2)
+
+    def test_from_function_majority(self):
+        maj = tt_from_function(lambda a, b, c: (a + b + c) >= 2, 3)
+        assert tt_count_ones(maj, 3) == 4
+        assert tt_eval(maj, [1, 1, 0], 3) is True
+        assert tt_eval(maj, [1, 0, 0], 3) is False
+
+    def test_from_function_matches_var(self):
+        for nvars in range(1, 5):
+            for index in range(nvars):
+                built = tt_from_function(lambda *args, i=index: args[i], nvars)
+                assert built == tt_var(index, nvars)
+
+
+class TestCofactorSupport:
+    def test_cofactor_of_and(self):
+        and_tt = tt_and(tt_var(0, 2), tt_var(1, 2), 2)
+        assert tt_cofactor(and_tt, 0, 1, 2) == tt_var(1, 2)
+        assert tt_cofactor(and_tt, 0, 0, 2) == 0
+
+    def test_cofactor_rejects_bad_var(self):
+        with pytest.raises(TruthTableError):
+            tt_cofactor(0b1010, 5, 0, 2)
+
+    def test_support_of_xor(self):
+        xor_tt = tt_xor(tt_var(0, 3), tt_var(2, 3), 3)
+        assert tt_support(xor_tt, 3) == [0, 2]
+
+    def test_support_of_constant(self):
+        assert tt_support(tt_const1(4), 4) == []
+
+    def test_shrink_to_support(self):
+        xor_tt = tt_xor(tt_var(0, 3), tt_var(2, 3), 3)
+        shrunk, support = tt_shrink_to_support(xor_tt, 3)
+        assert support == [0, 2]
+        assert shrunk == tt_xor(tt_var(0, 2), tt_var(1, 2), 2)
+
+    def test_expand_roundtrip(self):
+        and_tt = tt_and(tt_var(0, 2), tt_var(1, 2), 2)
+        expanded = tt_expand(and_tt, [1, 3], 2, 4)
+        assert expanded == tt_and(tt_var(1, 4), tt_var(3, 4), 4)
+
+    def test_expand_rejects_short_positions(self):
+        with pytest.raises(TruthTableError):
+            tt_expand(0b1000, [0], 2, 3)
+
+
+@st.composite
+def _tables(draw, max_vars=5):
+    nvars = draw(st.integers(min_value=1, max_value=max_vars))
+    table = draw(st.integers(min_value=0, max_value=tt_mask(nvars)))
+    return nvars, table
+
+
+class TestProperties:
+    @given(_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_double_negation(self, pair):
+        nvars, table = pair
+        assert tt_not(tt_not(table, nvars), nvars) == table
+
+    @given(_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_de_morgan(self, pair):
+        nvars, table = pair
+        other = tt_not(table, nvars) ^ tt_var(0, nvars)
+        other &= tt_mask(nvars)
+        lhs = tt_not(tt_and(table, other, nvars), nvars)
+        rhs = tt_or(tt_not(table, nvars), tt_not(other, nvars), nvars)
+        assert lhs == rhs
+
+    @given(_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_shannon_expansion(self, pair):
+        nvars, table = pair
+        var = 0
+        positive = tt_and(tt_var(var, nvars), tt_cofactor(table, var, 1, nvars), nvars)
+        negative = tt_and(tt_not(tt_var(var, nvars), nvars),
+                          tt_cofactor(table, var, 0, nvars), nvars)
+        assert tt_or(positive, negative, nvars) == table
+
+    @given(_tables())
+    @settings(max_examples=100, deadline=None)
+    def test_cofactor_independent_of_var(self, pair):
+        nvars, table = pair
+        cof = tt_cofactor(table, 0, 1, nvars)
+        assert tt_cofactor(cof, 0, 0, nvars) == tt_cofactor(cof, 0, 1, nvars)
+
+    @given(_tables(max_vars=4))
+    @settings(max_examples=100, deadline=None)
+    def test_count_ones_matches_eval(self, pair):
+        nvars, table = pair
+        count = sum(
+            tt_eval(table, [(m >> i) & 1 for i in range(nvars)], nvars)
+            for m in range(1 << nvars)
+        )
+        assert count == tt_count_ones(table, nvars)

@@ -1,0 +1,71 @@
+"""Tests for LUT cost functions, including the paper's Fig. 3 example."""
+
+from repro.logic.truthtable import tt_and, tt_from_function, tt_mask, tt_var, tt_xor
+from repro.mapping.cost import (
+    area_cost,
+    branching_complexity,
+    branching_cost,
+    lut_cost_table,
+)
+
+
+class TestBranchingComplexity:
+    def test_fig3_and_gate(self):
+        # Paper Fig. 3, LUT L1 (AND): one combination for output 1, two for
+        # output 0 -> complexity 3.
+        and_tt = tt_and(tt_var(0, 2), tt_var(1, 2), 2)
+        assert branching_complexity(and_tt, 2) == 3
+
+    def test_fig3_xor_gate(self):
+        # Paper Fig. 3, LUT L2 (XOR): two combinations for each output value
+        # -> complexity 4.
+        xor_tt = tt_xor(tt_var(0, 2), tt_var(1, 2), 2)
+        assert branching_complexity(xor_tt, 2) == 4
+
+    def test_xor_is_harder_than_and(self):
+        and_tt = tt_and(tt_var(0, 2), tt_var(1, 2), 2)
+        xor_tt = tt_xor(tt_var(0, 2), tt_var(1, 2), 2)
+        assert branching_complexity(xor_tt, 2) > branching_complexity(and_tt, 2)
+
+    def test_constant_has_unit_complexity(self):
+        assert branching_complexity(0, 2) == 1
+        assert branching_complexity(tt_mask(2), 2) == 1
+
+    def test_buffer_and_inverter(self):
+        buffer_tt = tt_var(0, 1)
+        assert branching_complexity(buffer_tt, 1) == 2
+        assert branching_complexity(buffer_tt ^ tt_mask(1), 1) == 2
+
+    def test_complement_invariant(self):
+        for table in range(16):
+            assert (branching_complexity(table, 2)
+                    == branching_complexity(table ^ 0xF, 2))
+
+    def test_parity4_is_worst_case(self):
+        parity = tt_from_function(lambda a, b, c, d: (a + b + c + d) % 2 == 1, 4)
+        worst = max(branching_complexity(t, 4) for t in
+                    [parity, tt_and(tt_var(0, 4), tt_var(1, 4), 4), tt_var(0, 4)])
+        assert worst == branching_complexity(parity, 4)
+        assert branching_complexity(parity, 4) == 16
+
+
+class TestCostFunctions:
+    def test_area_cost_is_unit(self):
+        assert area_cost(0b1000, 2) == 1.0
+        assert area_cost(0b0110, 2) == 1.0
+
+    def test_branching_cost_matches_complexity(self):
+        xor_tt = tt_xor(tt_var(0, 2), tt_var(1, 2), 2)
+        assert branching_cost(xor_tt, 2) == 4.0
+
+    def test_lut_cost_table_two_inputs(self):
+        table = lut_cost_table(2)
+        assert len(table) == 16
+        and_tt = tt_and(tt_var(0, 2), tt_var(1, 2), 2)
+        xor_tt = tt_xor(tt_var(0, 2), tt_var(1, 2), 2)
+        assert table[and_tt] == 3.0
+        assert table[xor_tt] == 4.0
+
+    def test_lut_cost_table_area(self):
+        table = lut_cost_table(2, cost_fn=area_cost)
+        assert set(table.values()) == {1.0}

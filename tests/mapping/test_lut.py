@@ -1,0 +1,79 @@
+"""Tests for the LUT netlist container."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.logic.truthtable import tt_and, tt_var, tt_xor
+from repro.mapping.lut import LutNetlist
+
+
+def _tiny_netlist():
+    netlist = LutNetlist(name="tiny")
+    a = netlist.add_pi("a")
+    b = netlist.add_pi("b")
+    c = netlist.add_pi("c")
+    and_node = netlist.add_lut((a, b), tt_and(tt_var(0, 2), tt_var(1, 2), 2))
+    xor_node = netlist.add_lut((and_node, c), tt_xor(tt_var(0, 2), tt_var(1, 2), 2))
+    netlist.add_po(xor_node, name="f")
+    return netlist
+
+
+class TestConstruction:
+    def test_counts(self):
+        netlist = _tiny_netlist()
+        assert netlist.num_pis == 3
+        assert netlist.num_luts == 2
+        assert netlist.num_pos == 1
+        assert netlist.depth() == 2
+
+    def test_rejects_unknown_fanin(self):
+        netlist = LutNetlist()
+        netlist.add_pi()
+        with pytest.raises(MappingError):
+            netlist.add_lut((5,), 0b10)
+
+    def test_rejects_unknown_po(self):
+        netlist = LutNetlist()
+        with pytest.raises(MappingError):
+            netlist.add_po(3)
+
+    def test_lut_accessor(self):
+        netlist = _tiny_netlist()
+        first = netlist.luts()[0]
+        assert netlist.lut(first.node_id) == first
+        with pytest.raises(MappingError):
+            netlist.lut(netlist.pis[0])
+
+    def test_histogram(self):
+        netlist = _tiny_netlist()
+        assert netlist.lut_size_histogram() == {2: 2}
+
+
+class TestEvaluate:
+    def test_evaluate_matches_expected_function(self):
+        netlist = _tiny_netlist()
+        for pattern in range(8):
+            a, b, c = [(pattern >> i) & 1 for i in range(3)]
+            expected = bool((a and b) ^ c)
+            assert netlist.evaluate([a, b, c]) == [expected]
+
+    def test_complemented_po(self):
+        netlist = LutNetlist()
+        a = netlist.add_pi()
+        b = netlist.add_pi()
+        and_node = netlist.add_lut((a, b), tt_and(tt_var(0, 2), tt_var(1, 2), 2))
+        netlist.add_po(and_node, complemented=True)
+        assert netlist.evaluate([True, True]) == [False]
+        assert netlist.evaluate([True, False]) == [True]
+
+    def test_constant_lut(self):
+        netlist = LutNetlist()
+        netlist.add_pi()
+        constant = netlist.add_lut((), 1)
+        netlist.add_po(constant)
+        assert netlist.evaluate([False]) == [True]
+
+    def test_rejects_short_assignment(self):
+        netlist = _tiny_netlist()
+        with pytest.raises(MappingError):
+            netlist.evaluate([True])

@@ -1,0 +1,165 @@
+"""Tests for the DQN agent, the synthesis environment and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import generate_training_suite, lec_instance
+from repro.benchgen.datapath import ripple_carry_adder
+from repro.errors import RlError
+from repro.features import DeepGateEmbedder
+from repro.rl import (
+    DqnAgent,
+    RandomAgent,
+    SynthesisEnv,
+    Transition,
+    agent_recipe,
+    train_dqn,
+)
+from repro.synthesis.recipe import ACTION_NAMES
+from tests.helpers import functionally_equivalent, random_aig
+
+
+def _small_env(max_steps=3):
+    return SynthesisEnv(
+        max_steps=max_steps,
+        embedder=DeepGateEmbedder(dim=16),
+        max_conflicts=2_000,
+    )
+
+
+class TestDqnAgent:
+    def test_act_returns_valid_action(self):
+        agent = DqnAgent(state_dim=22, num_actions=5, seed=0)
+        state = np.zeros(22)
+        for epsilon in (0.0, 0.5, 1.0):
+            action = agent.act(state, epsilon=epsilon)
+            assert 0 <= action < 5
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(RlError):
+            DqnAgent(state_dim=8, gamma=1.5)
+
+    def test_train_step_requires_enough_samples(self):
+        agent = DqnAgent(state_dim=4, num_actions=3, batch_size=8, seed=1)
+        assert agent.train_step() is None
+        for index in range(8):
+            agent.observe(Transition(state=np.zeros(4), action=index % 3,
+                                     reward=1.0, next_state=np.zeros(4),
+                                     done=index % 2 == 0))
+        loss = agent.train_step()
+        assert loss is not None and loss >= 0.0
+
+    def test_target_network_sync(self):
+        agent = DqnAgent(state_dim=4, num_actions=3, batch_size=4,
+                         target_sync_interval=1, seed=2)
+        state = np.ones(4)
+        for _ in range(4):
+            agent.observe(Transition(state=state, action=0, reward=1.0,
+                                     next_state=state, done=True))
+        agent.train_step()
+        np.testing.assert_allclose(agent.q_network.forward(state),
+                                   agent.target_network.forward(state))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        agent = DqnAgent(state_dim=6, num_actions=4, seed=3)
+        path = tmp_path / "agent.npz"
+        state = np.linspace(0, 1, 6)
+        expected = agent.q_values(state)
+        agent.save(path)
+        other = DqnAgent(state_dim=6, num_actions=4, seed=77)
+        other.load(path)
+        np.testing.assert_allclose(other.q_values(state), expected)
+
+    def test_random_agent_never_ends_by_default(self):
+        agent = RandomAgent(seed=5)
+        end_index = ACTION_NAMES.index("end")
+        actions = {agent.act(np.zeros(4)) for _ in range(200)}
+        assert end_index not in actions
+        assert actions <= set(range(len(ACTION_NAMES)))
+
+
+class TestSynthesisEnv:
+    def test_reset_and_state_shape(self):
+        env = _small_env()
+        aig = random_aig(num_pis=6, num_nodes=30, seed=1)
+        state = env.reset(aig)
+        assert state.shape == (env.state_dim,)
+        assert env.state_dim == 6 + 16
+
+    def test_step_before_reset_rejected(self):
+        env = _small_env()
+        with pytest.raises(RlError):
+            env.step(0)
+
+    def test_invalid_action_rejected(self):
+        env = _small_env()
+        env.reset(random_aig(seed=2))
+        with pytest.raises(RlError):
+            env.step(99)
+
+    def test_episode_terminates_at_max_steps(self):
+        env = _small_env(max_steps=2)
+        env.reset(lec_instance(ripple_carry_adder(3), equivalent=False, seed=1))
+        rewrite_index = ACTION_NAMES.index("rewrite")
+        _, reward, done, _ = env.step(rewrite_index)
+        assert not done and reward == 0.0
+        _, reward, done, info = env.step(ACTION_NAMES.index("balance"))
+        assert done
+        assert "episode" in info
+        episode = info["episode"]
+        assert episode.recipe == ["rewrite", "balance"]
+        assert episode.decisions_before >= 0
+        assert episode.reward == pytest.approx(
+            episode.decisions_before - episode.decisions_after)
+
+    def test_end_action_terminates_immediately(self):
+        env = _small_env()
+        env.reset(lec_instance(ripple_carry_adder(3), equivalent=False, seed=2))
+        _, _, done, info = env.step(ACTION_NAMES.index("end"))
+        assert done
+        assert info["episode"].recipe == []
+
+    def test_intermediate_rewards_are_zero(self):
+        env = _small_env(max_steps=3)
+        env.reset(lec_instance(ripple_carry_adder(3), equivalent=False, seed=3))
+        _, reward, done, _ = env.step(ACTION_NAMES.index("balance"))
+        assert reward == 0.0 and not done
+
+    def test_operations_preserve_function_through_env(self):
+        env = _small_env(max_steps=3)
+        instance = lec_instance(ripple_carry_adder(3), equivalent=False, seed=4)
+        env.reset(instance)
+        env.step(ACTION_NAMES.index("rewrite"))
+        env.step(ACTION_NAMES.index("refactor"))
+        assert functionally_equivalent(instance, env.current_aig)
+
+
+class TestTraining:
+    def test_training_smoke(self):
+        suite = generate_training_suite(num_instances=3, seed=1)
+        env = _small_env(max_steps=2)
+        agent, history = train_dqn(suite, env, episodes=3, seed=0)
+        assert history.num_episodes == 3
+        assert len(history.episode_results) == 3
+        assert isinstance(history.mean_reward(), float)
+
+    def test_training_rejects_empty_instances(self):
+        env = _small_env()
+        with pytest.raises(RlError):
+            train_dqn([], env, episodes=1)
+
+    def test_agent_recipe_rollout(self):
+        env = _small_env(max_steps=4)
+        agent = RandomAgent(seed=3)
+        aig = lec_instance(ripple_carry_adder(3), equivalent=False, seed=5)
+        recipe = agent_recipe(agent, env, aig)
+        assert 0 < len(recipe) <= 4
+        assert all(name in ACTION_NAMES and name != "end" for name in recipe)
+
+    def test_trained_agent_recipe_is_deterministic(self):
+        env = _small_env(max_steps=3)
+        agent = DqnAgent(state_dim=env.state_dim, num_actions=env.num_actions, seed=4)
+        aig = lec_instance(ripple_carry_adder(3), equivalent=False, seed=6)
+        first = agent_recipe(agent, env, aig)
+        second = agent_recipe(agent, env, aig)
+        assert first == second

@@ -1,0 +1,83 @@
+"""Tests for the numpy MLP and the replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RlError
+from repro.rl import Mlp, ReplayBuffer, Transition
+
+
+class TestMlp:
+    def test_forward_shape(self):
+        mlp = Mlp(input_dim=4, hidden_dims=(8,), output_dim=3)
+        single = mlp.forward(np.zeros(4))
+        batch = mlp.forward(np.zeros((5, 4)))
+        assert single.shape == (1, 3)
+        assert batch.shape == (5, 3)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(RlError):
+            Mlp(input_dim=0, hidden_dims=(4,), output_dim=2)
+        mlp = Mlp(input_dim=4, hidden_dims=(8,), output_dim=3)
+        with pytest.raises(RlError):
+            mlp.forward(np.zeros((2, 5)))
+
+    def test_learns_simple_regression(self):
+        # Q(s)[a] should learn to predict a linear function of the state.
+        rng = np.random.default_rng(0)
+        mlp = Mlp(input_dim=3, hidden_dims=(32, 32), output_dim=2,
+                  learning_rate=5e-3, seed=1)
+        losses = []
+        for _ in range(400):
+            states = rng.standard_normal((16, 3))
+            actions = rng.integers(0, 2, size=16)
+            targets = states[:, 0] * 2.0 + np.where(actions == 1, 1.0, -1.0)
+            losses.append(mlp.train_on_targets(states, actions, targets))
+        assert np.mean(losses[-20:]) < np.mean(losses[:20]) * 0.2
+
+    def test_parameter_roundtrip(self):
+        mlp = Mlp(input_dim=4, hidden_dims=(8,), output_dim=2, seed=3)
+        other = Mlp(input_dim=4, hidden_dims=(8,), output_dim=2, seed=99)
+        state = np.ones(4)
+        assert not np.allclose(mlp.forward(state), other.forward(state))
+        other.set_parameters(mlp.get_parameters())
+        np.testing.assert_allclose(mlp.forward(state), other.forward(state))
+
+    def test_set_parameters_rejects_mismatch(self):
+        mlp = Mlp(input_dim=4, hidden_dims=(8,), output_dim=2)
+        other = Mlp(input_dim=4, hidden_dims=(16,), output_dim=2)
+        with pytest.raises(RlError):
+            mlp.set_parameters(other.get_parameters())
+        with pytest.raises(RlError):
+            mlp.set_parameters(other.get_parameters()[:-1])
+
+
+class TestReplayBuffer:
+    def _transition(self, value):
+        return Transition(state=np.array([value]), action=0, reward=float(value),
+                          next_state=np.array([value + 1]), done=False)
+
+    def test_push_and_sample(self):
+        buffer = ReplayBuffer(capacity=10)
+        for index in range(5):
+            buffer.push(self._transition(index))
+        assert len(buffer) == 5
+        sample = buffer.sample(3)
+        assert len(sample) == 3
+        assert all(isinstance(item, Transition) for item in sample)
+
+    def test_eviction_at_capacity(self):
+        buffer = ReplayBuffer(capacity=4)
+        for index in range(10):
+            buffer.push(self._transition(index))
+        assert len(buffer) == 4
+        rewards = {item.reward for item in buffer.sample(64)}
+        assert rewards <= {6.0, 7.0, 8.0, 9.0}
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(RlError):
+            ReplayBuffer(capacity=4).sample(1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(RlError):
+            ReplayBuffer(capacity=0)

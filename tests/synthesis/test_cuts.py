@@ -1,0 +1,109 @@
+"""Tests for cut enumeration and cone utilities."""
+
+from repro.aig import AIG
+from repro.logic.truthtable import tt_and, tt_eval, tt_var, tt_xor
+from repro.synthesis.cuts import (
+    cone_nodes,
+    cone_truth_table,
+    enumerate_cuts,
+    reconvergence_cut,
+)
+from tests.helpers import random_aig
+
+
+def _xor_tree():
+    aig = AIG()
+    a = aig.add_pi()
+    b = aig.add_pi()
+    c = aig.add_pi()
+    x = aig.add_xor(a, b)
+    y = aig.add_xor(x, c)
+    aig.add_po(y)
+    return aig, [a, b, c], y
+
+
+class TestEnumerateCuts:
+    def test_pi_has_only_trivial_cut(self):
+        aig = AIG()
+        a = aig.add_pi()
+        b = aig.add_pi()
+        aig.add_po(aig.add_and(a, b))
+        cuts = enumerate_cuts(aig, k=4)
+        assert len(cuts[a // 2]) == 1
+        assert cuts[a // 2][0].leaves == (a // 2,)
+
+    def test_and_node_has_pi_cut(self):
+        aig = AIG()
+        a = aig.add_pi()
+        b = aig.add_pi()
+        node = aig.add_and(a, b)
+        aig.add_po(node)
+        cuts = enumerate_cuts(aig, k=4)
+        node_cuts = cuts[node // 2]
+        leaf_sets = [cut.leaves for cut in node_cuts]
+        assert (a // 2, b // 2) in leaf_sets
+        pi_cut = next(c for c in node_cuts if c.leaves == (a // 2, b // 2))
+        assert pi_cut.table == tt_and(tt_var(0, 2), tt_var(1, 2), 2)
+
+    def test_xor_cut_truth_table(self):
+        aig, (a, b, c), root = _xor_tree()
+        cuts = enumerate_cuts(aig, k=4)
+        root_cuts = cuts[root // 2]
+        target_leaves = tuple(sorted([a // 2, b // 2, c // 2]))
+        match = [cut for cut in root_cuts if cut.leaves == target_leaves]
+        assert match
+        # Cut tables describe the root *variable*; the XOR literal returned by
+        # add_xor is complemented, so the node itself computes XNOR.
+        expected = tt_xor(tt_xor(tt_var(0, 3), tt_var(1, 3), 3), tt_var(2, 3), 3)
+        expected_node = expected ^ 0xFF if root & 1 else expected
+        assert match[0].table == expected_node
+
+    def test_cut_size_limit_respected(self):
+        aig = random_aig(num_pis=8, num_nodes=40, seed=3)
+        cuts = enumerate_cuts(aig, k=4, max_cuts=6)
+        for cut_list in cuts.values():
+            assert len(cut_list) <= 6
+            for cut in cut_list:
+                assert cut.size <= 4
+
+    def test_cut_tables_match_simulation(self):
+        aig = random_aig(num_pis=5, num_nodes=20, seed=11)
+        cuts = enumerate_cuts(aig, k=4)
+        for var in aig.and_vars():
+            for cut in cuts[var]:
+                if cut.leaves == (var,):
+                    continue
+                reference = cone_truth_table(aig, var, cut.leaves)
+                assert reference == cut.table
+
+
+class TestReconvergenceCut:
+    def test_small_cone_collapses_to_pis(self):
+        aig, (a, b, c), root = _xor_tree()
+        leaves = reconvergence_cut(aig, root // 2, max_leaves=8)
+        assert set(leaves) == {a // 2, b // 2, c // 2}
+
+    def test_respects_leaf_limit(self):
+        aig = random_aig(num_pis=10, num_nodes=60, seed=5)
+        for var in list(aig.and_vars())[-5:]:
+            leaves = reconvergence_cut(aig, var, max_leaves=6)
+            assert len(leaves) <= 6
+
+    def test_cone_truth_table_of_leaf_limit_cut(self):
+        aig = random_aig(num_pis=6, num_nodes=30, seed=9)
+        for var in list(aig.and_vars())[-3:]:
+            leaves = reconvergence_cut(aig, var, max_leaves=8)
+            table = cone_truth_table(aig, var, leaves)
+            for minterm in range(1 << len(leaves)):
+                bits = [(minterm >> i) & 1 for i in range(len(leaves))]
+                assert tt_eval(table, bits, len(leaves)) in (True, False)
+
+
+class TestConeNodes:
+    def test_cone_excludes_leaves_includes_root(self):
+        aig, (a, b, c), root = _xor_tree()
+        leaves = tuple(sorted([a // 2, b // 2, c // 2]))
+        nodes = cone_nodes(aig, root // 2, leaves)
+        assert root // 2 in nodes
+        assert not set(leaves) & set(nodes)
+        assert len(nodes) == aig.num_ands
