@@ -14,7 +14,7 @@ preprocessing) with less total runtime.
 from repro.eval.runtime import run_comparison
 from repro.sat.configs import kissat_like
 
-from benchmarks.conftest import TIME_LIMIT, write_result
+from benchmarks.conftest import JOBS, TIME_LIMIT, bench_store, write_result
 
 
 def test_fig4_kissat_runtime_comparison(benchmark, evaluation_suite):
@@ -26,6 +26,8 @@ def test_fig4_kissat_runtime_comparison(benchmark, evaluation_suite):
             config=kissat_like(),
             solver_name="kissat_like",
             time_limit=TIME_LIMIT,
+            jobs=JOBS,
+            store=bench_store("fig4_kissat"),
         )
 
     comparison = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -18,7 +18,7 @@ the ordering reported in the paper.
 from repro.eval.ablation import run_ablation
 from repro.sat.configs import kissat_like
 
-from benchmarks.conftest import TIME_LIMIT, write_result
+from benchmarks.conftest import JOBS, TIME_LIMIT, bench_store, write_result
 
 
 def test_fig5_ablation(benchmark, ablation_suite):
@@ -32,6 +32,8 @@ def test_fig5_ablation(benchmark, ablation_suite):
             time_limit=TIME_LIMIT,
             max_steps=6,
             random_seed=3,
+            jobs=JOBS,
+            store=bench_store("fig5_ablation"),
         )
 
     ablation = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -21,7 +21,7 @@ times — is preserved.
 from repro.eval.tables import dataset_statistics
 from repro.sat.configs import kissat_like
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import JOBS, bench_store, write_result
 
 
 def test_table1_dataset_statistics(benchmark, training_suite):
@@ -29,7 +29,8 @@ def test_table1_dataset_statistics(benchmark, training_suite):
 
     def build_table():
         return dataset_statistics(training_suite, config=kissat_like(),
-                                  time_limit=30.0)
+                                  time_limit=30.0, jobs=JOBS,
+                                  store=bench_store("table1_dataset"))
 
     stats = benchmark.pedantic(build_table, rounds=1, iterations=1)
 

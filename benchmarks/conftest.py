@@ -1,10 +1,15 @@
 """Shared fixtures for the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper on a scaled-down
-instance suite (see DESIGN.md for the substitution rationale).  The suites
+instance suite (see README.md for the substitution rationale).  The suites
 and limits are chosen so the whole harness completes in tens of minutes on a
 laptop with the pure-Python CDCL solver; set ``REPRO_BENCH_SCALE=large`` to
 use bigger suites and longer time limits.
+
+Every benchmark executes through :class:`repro.runner.BatchRunner`:
+``REPRO_BENCH_JOBS=N`` fans the sweep out over N worker processes and
+``REPRO_BENCH_CACHE=1`` persists results under ``benchmarks/results/cache/``
+so interrupted harness runs resume instead of restarting.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.runner import ResultStore
 from repro.benchgen import (
     adder_equivalence_miter,
     generate_training_suite,
@@ -25,6 +31,16 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Per-instance solver wall-clock limit (the paper uses 1000 s; scaled down).
 TIME_LIMIT = 90.0 if os.environ.get("REPRO_BENCH_SCALE") != "large" else 600.0
+
+#: Worker processes for the batch runner behind every harness.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_store(name: str) -> ResultStore | None:
+    """A persistent result store for one harness, when caching is enabled."""
+    if not os.environ.get("REPRO_BENCH_CACHE"):
+        return None
+    return ResultStore(RESULTS_DIR / "cache" / f"{name}.jsonl")
 
 
 def write_result(name: str, text: str) -> None:

@@ -18,8 +18,10 @@ Quick start::
     ours = run_pipeline(instance, "Ours", config=kissat_like())
     print(baseline.decisions, "->", ours.decisions)
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-reproduction of every table and figure.
+See README.md for installation and the runner CLI; the harnesses under
+``benchmarks/`` regenerate every table and figure of the paper, and
+``python -m repro.runner`` executes whole sweeps in parallel with a
+persistent result cache.
 """
 
 from repro.aig import AIG, read_aiger, read_aiger_file, write_aiger, write_aiger_file
@@ -41,6 +43,7 @@ from repro.core import (
 )
 from repro.mapping import branching_complexity, map_aig
 from repro.rl import DqnAgent, RandomAgent, SynthesisEnv, train_dqn
+from repro.runner import BatchRunner, ResultStore, Task
 from repro.sat import CdclSolver, cadical_like, kissat_like, solve_cnf
 from repro.synthesis import apply_recipe, balance, refactor, resub, rewrite
 
@@ -92,4 +95,8 @@ __all__ = [
     "comp_pipeline",
     "ours_pipeline",
     "run_pipeline",
+    # Batch execution
+    "Task",
+    "BatchRunner",
+    "ResultStore",
 ]

@@ -4,7 +4,7 @@ The paper uses 200 easy instances (for RL training) and 300 hard instances
 (for evaluation), mixing LEC and ATPG problems at a 2:1 ratio.  This module
 generates suites with the same structure at configurable sizes — the default
 sizes are scaled down so the pure-Python CDCL solver keeps per-instance
-solving times in the sub-second to seconds range (see DESIGN.md).
+solving times in the sub-second to seconds range (see README.md).
 
 LEC instances come in three flavours, mirroring industrial practice:
 

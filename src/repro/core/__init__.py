@@ -9,9 +9,10 @@ the Eén–Mishchenko–Sörensson 2007 substitute) pipelines, into end-to-end
 """
 
 from repro.core.preprocess import PreprocessResult, Preprocessor
+from repro.core.results import InstanceRun, RunSet
 from repro.core.pipeline import (
     PIPELINES,
-    InstanceRun,
+    PipelineComparison,
     PipelineSpec,
     baseline_pipeline,
     comp_pipeline,
@@ -24,6 +25,8 @@ __all__ = [
     "PreprocessResult",
     "PipelineSpec",
     "InstanceRun",
+    "RunSet",
+    "PipelineComparison",
     "PIPELINES",
     "baseline_pipeline",
     "comp_pipeline",

@@ -12,23 +12,36 @@
 :func:`run_pipeline` executes one pipeline on one instance, measuring the
 preprocessing (transformation) time and the solving time separately, and
 reporting the solver statistics — in particular the decision count, the
-paper's "variable branching times".
+paper's "variable branching times".  Named pipelines accept per-call keyword
+arguments through ``pipeline_kwargs`` (e.g. ``lut_size`` or an explicit
+``recipe`` for "Ours" and "Comp.").
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Callable
 
 from repro.aig.aig import AIG
 from repro.cnf.cnf import Cnf
 from repro.cnf.tseitin import tseitin_encode
 from repro.core.preprocess import Preprocessor
+from repro.core.results import InstanceRun, RunSet
 from repro.sat.configs import SolverConfig
 from repro.sat.solver import SolveResult, solve_cnf
-from repro.sat.stats import SolverStats
 from repro.synthesis.recipe import COMPRESS2_RECIPE
+
+__all__ = [
+    "PipelineSpec",
+    "InstanceRun",
+    "PIPELINES",
+    "baseline_pipeline",
+    "comp_pipeline",
+    "ours_pipeline",
+    "run_pipeline",
+    "PipelineComparison",
+]
 
 
 @dataclass
@@ -39,29 +52,6 @@ class PipelineSpec:
     encode: Callable[[AIG], tuple[Cnf, float]]
 
 
-@dataclass
-class InstanceRun:
-    """The outcome of running one pipeline on one instance."""
-
-    instance_name: str
-    pipeline_name: str
-    status: str
-    transform_time: float
-    solve_time: float
-    stats: SolverStats
-    num_vars: int
-    num_clauses: int
-
-    @property
-    def total_time(self) -> float:
-        """Transformation plus solving time (the paper's overall runtime)."""
-        return self.transform_time + self.solve_time
-
-    @property
-    def decisions(self) -> int:
-        return self.stats.decisions
-
-
 def baseline_pipeline(aig: AIG) -> tuple[Cnf, float]:
     """Baseline: direct Tseitin encoding of the input AIG."""
     start = time.perf_counter()
@@ -69,12 +59,18 @@ def baseline_pipeline(aig: AIG) -> tuple[Cnf, float]:
     return cnf, time.perf_counter() - start
 
 
-def comp_pipeline(aig: AIG, lut_size: int = 4) -> tuple[Cnf, float]:
-    """Comp.: size-oriented synthesis plus conventional (area-cost) mapping."""
+def comp_pipeline(aig: AIG, lut_size: int = 4,
+                  recipe: list[str] | None = None) -> tuple[Cnf, float]:
+    """Comp.: size-oriented synthesis plus conventional (area-cost) mapping.
+
+    ``recipe`` overrides the default ``compress2`` script — used e.g. by the
+    Fig. 5 "C. Mapper" ablation, which maps the "Ours" recipe with the
+    conventional area cost.
+    """
     preprocessor = Preprocessor(
         lut_size=lut_size,
         use_branching_cost=False,
-        recipe=list(COMPRESS2_RECIPE),
+        recipe=list(recipe) if recipe is not None else list(COMPRESS2_RECIPE),
     )
     result = preprocessor.preprocess(aig)
     return result.cnf, result.preprocess_time
@@ -96,7 +92,7 @@ def ours_pipeline(aig: AIG, agent: object | None = None,
 
 
 #: The three pipelines of Fig. 4, with their paper labels.
-PIPELINES: dict[str, Callable[[AIG], tuple[Cnf, float]]] = {
+PIPELINES: dict[str, Callable[..., tuple[Cnf, float]]] = {
     "Baseline": baseline_pipeline,
     "Comp.": comp_pipeline,
     "Ours": ours_pipeline,
@@ -107,15 +103,22 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
                  instance_name: str = "", config: SolverConfig | None = None,
                  time_limit: float | None = None,
                  max_conflicts: int | None = None,
-                 max_decisions: int | None = None) -> InstanceRun:
-    """Preprocess ``instance_aig`` with ``pipeline`` and solve the result."""
+                 max_decisions: int | None = None,
+                 pipeline_kwargs: dict | None = None) -> InstanceRun:
+    """Preprocess ``instance_aig`` with ``pipeline`` and solve the result.
+
+    ``pipeline_kwargs`` are forwarded to the pipeline's encoder, so named
+    pipelines can be customised per call (e.g. ``{"lut_size": 6}`` or
+    ``{"recipe": [...]}`` for "Ours"/"Comp.") instead of only running with
+    the zero-argument defaults of :data:`PIPELINES`.
+    """
     if isinstance(pipeline, str):
         encode = PIPELINES[pipeline]
         pipeline_name = pipeline
     else:
         encode = pipeline
         pipeline_name = getattr(pipeline, "__name__", "custom")
-    cnf, transform_time = encode(instance_aig)
+    cnf, transform_time = encode(instance_aig, **(pipeline_kwargs or {}))
     result: SolveResult = solve_cnf(
         cnf, config=config, time_limit=time_limit,
         max_conflicts=max_conflicts, max_decisions=max_decisions,
@@ -133,20 +136,9 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
 
 
 @dataclass
-class PipelineComparison:
-    """Runs of several pipelines over a common instance set."""
+class PipelineComparison(RunSet):
+    """Runs of several pipelines over a common instance set.
 
-    runs: dict[str, list[InstanceRun]] = field(default_factory=dict)
-
-    def add(self, run: InstanceRun) -> None:
-        self.runs.setdefault(run.pipeline_name, []).append(run)
-
-    def total_time(self, pipeline_name: str) -> float:
-        return sum(run.total_time for run in self.runs.get(pipeline_name, []))
-
-    def total_decisions(self, pipeline_name: str) -> int:
-        return sum(run.decisions for run in self.runs.get(pipeline_name, []))
-
-    def solved(self, pipeline_name: str) -> int:
-        return sum(run.status in ("SAT", "UNSAT")
-                   for run in self.runs.get(pipeline_name, []))
+    A thin alias of :class:`repro.core.results.RunSet`, kept for its
+    historical name in the core API.
+    """

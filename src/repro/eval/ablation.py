@@ -6,48 +6,40 @@ Two ablations are compared against the full framework ("Ours"):
   same step budget ``T`` (Sec. IV-C1);
 * **C. Mapper** — the same recipe as "Ours" but mapped with the conventional
   area cost instead of the branching-complexity cost (Sec. IV-C2).
+
+Recipe selection (the only agent-dependent step) happens up front; the
+resulting (recipe, mapper) cells are then executed as runner tasks, so the
+ablation parallelises and caches exactly like the Fig. 4 sweep.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.benchgen.suite import CsatInstance
-from repro.core.pipeline import InstanceRun, run_pipeline
 from repro.core.preprocess import Preprocessor
+from repro.core.results import RunSet
 from repro.eval.report import format_table
 from repro.rl.agent import RandomAgent
 from repro.rl.env import SynthesisEnv
 from repro.rl.train import agent_recipe
+from repro.runner.batch import BatchRunner
+from repro.runner.store import ResultStore
+from repro.runner.task import Task
 from repro.sat.configs import SolverConfig
 
 
 @dataclass
-class AblationResult:
+class AblationResult(RunSet):
     """Total runtimes and decisions of the three Fig. 5 settings."""
 
-    solver_name: str
-    time_limit: float | None
-    runs: dict[str, list[InstanceRun]] = field(default_factory=dict)
-
-    def total_runtime(self, setting: str) -> float:
-        total = 0.0
-        for run in self.runs.get(setting, []):
-            if run.status == "UNKNOWN" and self.time_limit is not None:
-                total += self.time_limit + run.transform_time
-            else:
-                total += run.total_time
-        return total
-
-    def total_decisions(self, setting: str) -> int:
-        return sum(run.decisions for run in self.runs.get(setting, []))
+    solver_name: str = "default"
 
     def summary_text(self) -> str:
         headers = ["Setting", "Solved", "Total time (s)", "Total decisions"]
         rows = []
-        for name, runs in self.runs.items():
-            solved = sum(run.status in ("SAT", "UNSAT") for run in runs)
-            rows.append([name, solved, self.total_runtime(name),
+        for name in self.runs:
+            rows.append([name, self.solved(name), self.total_runtime(name),
                          self.total_decisions(name)])
         return format_table(headers, rows,
                             title=f"Fig. 5 ({self.solver_name}) — ablation study")
@@ -59,18 +51,22 @@ def run_ablation(instances: list[CsatInstance],
                  solver_name: str = "default",
                  time_limit: float | None = 60.0,
                  max_steps: int = 10,
-                 random_seed: int = 0) -> AblationResult:
+                 random_seed: int = 0,
+                 jobs: int = 1,
+                 store: ResultStore | None = None,
+                 hard_timeout: float | None = None) -> AblationResult:
     """Run the Fig. 5 ablation over ``instances``.
 
     ``agent`` is the trained agent used by the "Ours" and "C. Mapper"
     settings; when ``None`` the default fixed recipe of
     :class:`repro.core.preprocess.Preprocessor` is used instead (the relative
-    comparison between settings is preserved either way).
+    comparison between settings is preserved either way).  ``jobs`` and
+    ``store`` configure the underlying batch runner.
     """
-    result = AblationResult(solver_name=solver_name, time_limit=time_limit)
     random_agent = RandomAgent(seed=random_seed)
     recipe_env = SynthesisEnv(max_steps=max_steps)
 
+    tasks = []
     for instance in instances:
         # Setting 1: Ours (agent or default recipe + branching-cost mapper).
         ours_preprocessor = Preprocessor(agent=agent, use_branching_cost=True,
@@ -82,18 +78,21 @@ def run_ablation(instances: list[CsatInstance],
                                      max_steps=max_steps)
 
         # Setting 3: C. Mapper (same recipe as Ours + conventional mapper).
-        settings = {
-            "Ours": Preprocessor(recipe=ours_recipe, use_branching_cost=True),
-            "w/o RL": Preprocessor(recipe=random_recipe, use_branching_cost=True),
-            "C. Mapper": Preprocessor(recipe=ours_recipe, use_branching_cost=False),
-        }
-        for name, preprocessor in settings.items():
-            def encode(aig, _preprocessor=preprocessor):
-                preprocess_result = _preprocessor.preprocess(aig)
-                return preprocess_result.cnf, preprocess_result.preprocess_time
-            encode.__name__ = name
-            run = run_pipeline(instance.aig, encode, instance_name=instance.name,
-                               config=config, time_limit=time_limit)
-            run.pipeline_name = name
-            result.runs.setdefault(name, []).append(run)
+        cells = [
+            ("Ours", "Ours", ours_recipe),
+            ("w/o RL", "Ours", random_recipe),
+            ("C. Mapper", "Comp.", ours_recipe),
+        ]
+        for setting, pipeline, recipe in cells:
+            tasks.append(Task.from_instance(
+                instance, pipeline,
+                pipeline_kwargs={"recipe": list(recipe)},
+                config=config, time_limit=time_limit,
+                hard_timeout=hard_timeout, group=setting,
+            ))
+
+    report = BatchRunner(jobs=jobs, store=store).run(tasks)
+    result = AblationResult(solver_name=solver_name, time_limit=time_limit)
+    for run in report.runs:
+        result.add(run)
     return result

@@ -1,53 +1,34 @@
 """Fig. 4: runtime comparison of Baseline / Comp. / Ours.
 
-The harness runs every instance of a suite through each pipeline with a given
-solver preset, accumulating the *overall runtime* (transformation + solving,
-as in the paper) and the decision counts, and produces the cactus-plot series
-(number of solved instances versus cumulative runtime).  Timeouts are counted
-with the full time limit, matching the paper's ``T_solve = 1000 s`` rule.
+The harness expands every instance of a suite x pipeline grid into
+:class:`repro.runner.Task` cells and executes them through a
+:class:`repro.runner.BatchRunner` — optionally in parallel (``jobs``) and
+against a persistent result cache (``store``).  It accumulates the *overall
+runtime* (transformation + solving, as in the paper) and the decision
+counts, and produces the cactus-plot series (number of solved instances
+versus cumulative runtime).  Timeouts are counted with the full time limit,
+matching the paper's ``T_solve = 1000 s`` rule.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, replace
 
 from repro.benchgen.suite import CsatInstance
-from repro.core.pipeline import InstanceRun, run_pipeline
+from repro.core.results import InstanceRun, RunSet
 from repro.eval.report import format_cactus, format_table
+from repro.runner.batch import BatchRunner
+from repro.runner.store import ResultStore
+from repro.runner.task import Task, resolve_pipeline_kwargs
 from repro.sat.configs import SolverConfig
 
 
 @dataclass
-class RuntimeComparison:
+class RuntimeComparison(RunSet):
     """Results of running several pipelines over a common instance suite."""
 
-    solver_name: str
-    time_limit: float | None
-    runs: dict[str, list[InstanceRun]] = field(default_factory=dict)
-
-    def total_runtime(self, pipeline: str) -> float:
-        """Total overall runtime with timeouts charged at the time limit."""
-        total = 0.0
-        for run in self.runs.get(pipeline, []):
-            if run.status == "UNKNOWN" and self.time_limit is not None:
-                total += self.time_limit + run.transform_time
-            else:
-                total += run.total_time
-        return total
-
-    def total_decisions(self, pipeline: str) -> int:
-        return sum(run.decisions for run in self.runs.get(pipeline, []))
-
-    def solved(self, pipeline: str) -> int:
-        return sum(run.status in ("SAT", "UNSAT")
-                   for run in self.runs.get(pipeline, []))
-
-    def reduction_vs(self, pipeline: str, reference: str) -> float:
-        """Percentage runtime reduction of ``pipeline`` relative to ``reference``."""
-        reference_total = self.total_runtime(reference)
-        if reference_total <= 0:
-            return 0.0
-        return 100.0 * (1.0 - self.total_runtime(pipeline) / reference_total)
+    solver_name: str = "default"
 
     def summary_text(self) -> str:
         headers = ["Pipeline", "Solved", "Total time (s)", "Total decisions"]
@@ -73,8 +54,7 @@ def cactus_points(runs: list[InstanceRun],
     (limit) runtime is *not* added, matching the usual cactus convention.
     """
     del time_limit
-    solved_times = sorted(run.total_time for run in runs
-                          if run.status in ("SAT", "UNSAT"))
+    solved_times = sorted(run.total_time for run in runs if run.solved)
     points = []
     cumulative = 0.0
     for count, runtime in enumerate(solved_times, start=1):
@@ -88,31 +68,42 @@ def run_comparison(instances: list[CsatInstance],
                    config: SolverConfig | None = None,
                    solver_name: str = "default",
                    time_limit: float | None = 60.0,
-                   pipeline_kwargs: dict[str, dict] | None = None) -> RuntimeComparison:
+                   pipeline_kwargs: dict[str, dict] | None = None,
+                   jobs: int = 1,
+                   store: ResultStore | None = None,
+                   hard_timeout: float | None = None) -> RuntimeComparison:
     """Run ``pipelines`` (default: Baseline, Comp., Ours) over ``instances``.
 
     ``pipeline_kwargs`` optionally maps a pipeline name to extra keyword
-    arguments for its encoder (e.g. a trained agent for "Ours").
+    arguments for its encoder (e.g. a trained agent for "Ours" — agents are
+    materialised into explicit recipes per instance so tasks stay hashable;
+    the rollout time is counted toward that run's transform time, exactly as
+    when the agent runs inside Algorithm 1).  ``jobs`` and ``store``
+    configure the underlying batch runner.
     """
-    from repro.core.pipeline import PIPELINES
-
     if pipelines is None:
         pipelines = ["Baseline", "Comp.", "Ours"]
     pipeline_kwargs = pipeline_kwargs or {}
-    comparison = RuntimeComparison(solver_name=solver_name, time_limit=time_limit)
+
+    tasks = []
+    selection_times = []
     for instance in instances:
         for name in pipelines:
-            encoder = PIPELINES[name]
-            extra = pipeline_kwargs.get(name)
-            if extra:
-                def encode(aig, _encoder=encoder, _extra=extra):
-                    return _encoder(aig, **_extra)
-                encode.__name__ = name
-                target = encode
-            else:
-                target = name
-            run = run_pipeline(instance.aig, target, instance_name=instance.name,
-                               config=config, time_limit=time_limit)
-            run.pipeline_name = name
-            comparison.runs.setdefault(name, []).append(run)
+            raw = pipeline_kwargs.get(name) or {}
+            started = time.perf_counter()
+            extra = resolve_pipeline_kwargs(instance.aig, raw)
+            selection_times.append(
+                time.perf_counter() - started if "agent" in raw else 0.0)
+            tasks.append(Task.from_instance(
+                instance, name, pipeline_kwargs=extra, config=config,
+                time_limit=time_limit, hard_timeout=hard_timeout,
+            ))
+
+    report = BatchRunner(jobs=jobs, store=store).run(tasks)
+    comparison = RuntimeComparison(solver_name=solver_name, time_limit=time_limit)
+    for run, selection_time in zip(report.runs, selection_times):
+        if selection_time:
+            run = replace(run,
+                          transform_time=run.transform_time + selection_time)
+        comparison.add(run)
     return comparison

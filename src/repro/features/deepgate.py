@@ -15,7 +15,7 @@ from the same two ingredients DeepGate2 learns from:
 The embedding is a fixed-length vector, is deterministic for a given seed and
 varies smoothly with circuit structure, so it plays the same role in the RL
 state (Eq. 2) as the original learned embedding.  The substitution is
-recorded in DESIGN.md.
+recorded in README.md.
 """
 
 from __future__ import annotations

@@ -4,7 +4,7 @@ The paper trains for 10 000 episodes over 200 easy instances with
 ``T = 10``, ``gamma = 0.98``, batch size 32 and learning rate 1e-5.  The
 loop here is identical in structure; the episode budget is a parameter so the
 benchmarks and tests can use budgets compatible with the pure-Python solver
-(the budget actually used is recorded in EXPERIMENTS.md).
+(the budgets actually used are visible in the benchmark harnesses).
 """
 
 from __future__ import annotations

@@ -1,0 +1,238 @@
+"""Parallel batch execution with per-task hard timeouts and caching.
+
+:class:`BatchRunner` fans :class:`repro.runner.task.Task` objects out across
+a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* **hard timeouts** — each worker arms a wall-clock alarm
+  (``SIGALRM``/``setitimer``) before touching the task, so a hung or
+  pathological pipeline is killed *inside its own worker* and reported as a
+  ``TIMEOUT`` run; the rest of the sweep is unaffected;
+* **deterministic seeding** — the solver seed is derived from the task
+  fingerprint, so results are independent of worker assignment and
+  completion order (parallel and serial sweeps agree bit for bit on every
+  non-timing field);
+* **caching / resume** — tasks whose fingerprint is already in the attached
+  :class:`repro.runner.store.ResultStore` are served from disk; fresh
+  results are appended as they complete, so an interrupted sweep resumes
+  where it stopped;
+* **in-batch deduplication** — identical cells submitted twice in one batch
+  execute once.
+
+Results are returned in task order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import logging
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
+
+from repro.core.pipeline import run_pipeline
+from repro.core.results import InstanceRun
+from repro.runner.store import ResultStore
+from repro.runner.task import Task
+from repro.sat.configs import SolverConfig
+from repro.sat.stats import SolverStats
+
+logger = logging.getLogger(__name__)
+
+
+class HardTimeout(Exception):
+    """Raised inside a worker when a task exhausts its wall-clock budget."""
+
+
+def _raise_hard_timeout(signum: int, frame: object) -> None:
+    raise HardTimeout()
+
+
+def _alarm_available() -> bool:
+    """Wall-clock alarms need SIGALRM and the (worker) main thread."""
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+def execute_task(task: Task) -> InstanceRun:
+    """Run one task to completion in the current process.
+
+    This is the single execution path for serial runs, pool workers and
+    tests, so every mode produces identical results.  A task that exceeds
+    its ``hard_timeout`` is reported as a ``TIMEOUT`` run instead of raising;
+    unexpected pipeline/solver errors are reported as ``ERROR`` runs so one
+    bad cell cannot abort a long sweep.
+    """
+    config = task.config if task.config is not None else SolverConfig()
+    config = replace(config, seed=task.seed())
+    aig = task.aig()
+    use_alarm = task.hard_timeout is not None and _alarm_available()
+    previous_handler = None
+    previous_timer = (0.0, 0.0)
+    start = time.perf_counter()
+
+    def disarm() -> None:
+        # Re-arm any timer the caller had pending (jobs=1 runs in the
+        # caller's process) rather than silently disarming it.  Safe to call
+        # more than once: the alarm fires at most once (interval 0).
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, *previous_timer)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+    # The outer try exists because the alarm can fire in the gap between
+    # run_pipeline returning and the inner finally disarming it; a
+    # HardTimeout raised there must still become a TIMEOUT run, never escape
+    # and abort the whole sweep.
+    try:
+        try:
+            if use_alarm:
+                previous_handler = signal.signal(signal.SIGALRM,
+                                                 _raise_hard_timeout)
+                previous_timer = signal.setitimer(signal.ITIMER_REAL,
+                                                  task.hard_timeout)
+            run = run_pipeline(
+                aig, task.pipeline,
+                instance_name=task.instance_name,
+                config=config,
+                time_limit=task.time_limit,
+                pipeline_kwargs=task.pipeline_kwargs,
+            )
+        finally:
+            disarm()
+    except HardTimeout:
+        disarm()
+        run = _aborted_run(task, "TIMEOUT", time.perf_counter() - start)
+    except Exception:
+        disarm()
+        logger.exception("task %s/%s failed", task.instance_name, task.pipeline)
+        run = _aborted_run(task, "ERROR", time.perf_counter() - start)
+    run.pipeline_name = task.group_name
+    return run
+
+
+def _relabelled(run: InstanceRun, task: Task) -> InstanceRun:
+    """A copy of ``run`` carrying the requesting task's labels.
+
+    Fingerprints address *content*, so a cached or in-batch-deduplicated
+    result may have been computed under a different instance name or
+    aggregation group; the labels always come from the task being served.
+    """
+    return replace(run, instance_name=task.instance_name,
+                   pipeline_name=task.group_name)
+
+
+def _aborted_run(task: Task, status: str, elapsed: float) -> InstanceRun:
+    """A placeholder run for a task killed before producing a result."""
+    return InstanceRun(
+        instance_name=task.instance_name,
+        pipeline_name=task.group_name,
+        status=status,
+        transform_time=0.0,
+        solve_time=elapsed,
+        stats=SolverStats(solve_time=elapsed),
+        num_vars=0,
+        num_clauses=0,
+    )
+
+
+@dataclass
+class BatchReport:
+    """The outcome of one :meth:`BatchRunner.run` call."""
+
+    runs: list[InstanceRun] = field(default_factory=list)
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.runs)
+
+    @property
+    def cache_fraction(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def cache_summary(self) -> str:
+        percent = 100.0 * self.cache_fraction
+        return (f"{self.total} tasks: {self.cache_hits} cache hits, "
+                f"{self.executed} executed ({percent:.0f}% cached)")
+
+
+class BatchRunner:
+    """Execute batches of tasks, optionally in parallel and against a store.
+
+    ``jobs`` is the worker-process count (``1`` executes in-process);
+    ``store`` enables cache lookup and persistence.
+    """
+
+    def __init__(self, jobs: int = 1, store: ResultStore | None = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.store = store
+
+    def run(self, tasks: list[Task]) -> BatchReport:
+        """Run ``tasks`` and return their results in task order."""
+        runs: list[InstanceRun | None] = [None] * len(tasks)
+        fingerprints = [task.fingerprint() for task in tasks]
+
+        # Cache pass: serve completed work from the store, dedupe the rest.
+        pending: dict[str, tuple[int, Task]] = {}
+        duplicates: list[tuple[int, str]] = []
+        cache_hits = 0
+        for index, (task, fingerprint) in enumerate(zip(tasks, fingerprints)):
+            cached = self.store.get(fingerprint) if self.store is not None else None
+            if cached is not None:
+                runs[index] = _relabelled(cached, task)
+                cache_hits += 1
+            elif fingerprint in pending:
+                duplicates.append((index, fingerprint))
+            else:
+                pending[fingerprint] = (index, task)
+
+        fresh: dict[str, InstanceRun] = {}
+        if pending:
+            fresh = self._execute(pending)
+            for fingerprint, run in fresh.items():
+                runs[pending[fingerprint][0]] = run
+        for index, fingerprint in duplicates:
+            runs[index] = _relabelled(fresh[fingerprint], tasks[index])
+
+        assert all(run is not None for run in runs)
+        return BatchReport(runs=runs, cache_hits=cache_hits,
+                           executed=len(pending))
+
+    def _execute(self, pending: dict[str, tuple[int, Task]]) -> dict[str, InstanceRun]:
+        """Execute the cache-miss tasks, serially or across the pool.
+
+        Every result is persisted the moment it completes, so a sweep
+        interrupted part-way (Ctrl-C, OOM-killed worker) resumes from the
+        finished tasks instead of restarting from scratch.
+        """
+        items = list(pending.items())
+        results: dict[str, InstanceRun] = {}
+        if self.jobs == 1 or len(items) == 1:
+            for fingerprint, (_, task) in items:
+                results[fingerprint] = self._finish(fingerprint, task,
+                                                    execute_task(task))
+            return results
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(execute_task, task): fingerprint
+                       for fingerprint, (_, task) in items}
+            for future in as_completed(futures):
+                fingerprint = futures[future]
+                task = pending[fingerprint][1]
+                results[fingerprint] = self._finish(fingerprint, task,
+                                                    future.result())
+        return results
+
+    def _finish(self, fingerprint: str, task: Task,
+                run: InstanceRun) -> InstanceRun:
+        """Persist one fresh result as soon as it exists.
+
+        ERROR runs are transient (worker crash, resource blip) and stay out
+        of the store so a resume retries them.
+        """
+        if self.store is not None and run.status != "ERROR":
+            self.store.put(fingerprint, run, seed=task.seed())
+        return run

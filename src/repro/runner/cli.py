@@ -1,0 +1,136 @@
+"""``python -m repro.runner`` — run a benchmark sweep from the command line.
+
+A *suite spec* (suite name, size, seed), a pipeline list and a solver preset
+expand into one task per (instance, pipeline) cell.  The sweep fans out over
+``--jobs`` worker processes, persists every result to a JSONL store and
+prints the Fig. 4-style report tables; re-running the same spec against the
+same store is a pure cache read that reproduces the aggregates exactly.
+
+Example::
+
+    python -m repro.runner --suite test --size 4 --pipelines Baseline Ours --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.benchgen.suite import (
+    CsatInstance,
+    generate_test_suite,
+    generate_training_suite,
+)
+from repro.core.pipeline import PIPELINES
+from repro.runner.batch import BatchRunner
+from repro.runner.store import ResultStore
+from repro.runner.task import Task
+from repro.sat.configs import SolverConfig, cadical_like, kissat_like
+
+#: Suite name -> (generator, default seed); sizes come from ``--size``.
+SUITES = {
+    "training": (generate_training_suite, 0),
+    "test": (generate_test_suite, 1000),
+}
+
+SOLVER_PRESETS = {
+    "default": SolverConfig,
+    "kissat_like": kissat_like,
+    "cadical_like": cadical_like,
+}
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {parsed}")
+    return parsed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Parallel batch runner for pipeline sweeps with a "
+                    "persistent result cache.",
+    )
+    parser.add_argument("--suite", choices=sorted(SUITES), default="test",
+                        help="instance suite to generate (default: test)")
+    parser.add_argument("--size", type=int, default=8,
+                        help="number of instances in the suite (default: 8)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="suite generation seed (default: the suite's own)")
+    parser.add_argument("--pipelines", nargs="+", default=["Baseline", "Comp.", "Ours"],
+                        choices=sorted(PIPELINES), metavar="PIPELINE",
+                        help="pipelines to run (default: Baseline Comp. Ours)")
+    parser.add_argument("--solver", choices=sorted(SOLVER_PRESETS),
+                        default="kissat_like",
+                        help="solver preset (default: kissat_like)")
+    parser.add_argument("--time-limit", type=float, default=60.0,
+                        help="per-instance soft solver limit in seconds "
+                             "(default: 60; <= 0 disables)")
+    parser.add_argument("--hard-timeout", type=float, default=None,
+                        help="per-task wall-clock kill in seconds "
+                             "(default: 2x time limit + 30 s)")
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes (default: 1 = in-process)")
+    parser.add_argument("--store", type=Path, default=None,
+                        help="JSONL result store path (default: "
+                             "results/<suite>_size<N>_seed<S>_<solver>.jsonl)")
+    parser.add_argument("--lut-size", type=int, default=None,
+                        help="LUT size forwarded to the Comp./Ours mappers")
+    return parser
+
+
+def build_tasks(instances: list[CsatInstance], pipelines: list[str],
+                config: SolverConfig, time_limit: float | None,
+                hard_timeout: float | None,
+                lut_size: int | None = None) -> list[Task]:
+    """Expand a suite x pipeline grid into runner tasks."""
+    tasks = []
+    for instance in instances:
+        for name in pipelines:
+            kwargs = {}
+            if lut_size is not None and name != "Baseline":
+                kwargs["lut_size"] = lut_size
+            tasks.append(Task.from_instance(
+                instance, name, pipeline_kwargs=kwargs, config=config,
+                time_limit=time_limit, hard_timeout=hard_timeout,
+            ))
+    return tasks
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    generator, default_seed = SUITES[args.suite]
+    seed = args.seed if args.seed is not None else default_seed
+    instances = generator(num_instances=args.size, seed=seed)
+    config = SOLVER_PRESETS[args.solver]()
+    time_limit = args.time_limit if args.time_limit and args.time_limit > 0 else None
+
+    store_path = args.store
+    if store_path is None:
+        store_path = Path("results") / (
+            f"{args.suite}_size{args.size}_seed{seed}_{args.solver}.jsonl")
+    store = ResultStore(store_path)
+
+    tasks = build_tasks(instances, args.pipelines, config, time_limit,
+                        args.hard_timeout, lut_size=args.lut_size)
+    print(f"Suite {args.suite!r}: {len(instances)} instances x "
+          f"{len(args.pipelines)} pipelines = {len(tasks)} tasks "
+          f"({args.jobs} jobs, store {store_path})")
+
+    report = BatchRunner(jobs=args.jobs, store=store).run(tasks)
+
+    # Imported here: eval builds on the runner, not the other way round.
+    from repro.eval.runtime import RuntimeComparison
+
+    comparison = RuntimeComparison(solver_name=args.solver,
+                                   time_limit=time_limit)
+    for run in report.runs:
+        comparison.add(run)
+    print()
+    print(comparison.summary_text())
+    print()
+    print(f"Result store: {store_path} ({report.cache_summary()})")
+    return 0

@@ -1,0 +1,141 @@
+"""Persistent JSONL result store with content-hash cache lookup.
+
+Each completed task appends one JSON line keyed by the task fingerprint, so
+
+* a sweep interrupted at any point resumes by skipping every task whose
+  fingerprint is already on disk (a torn final line from a killed process is
+  detected and ignored);
+* re-running the same suite spec is a pure cache read that reproduces the
+  original aggregate numbers exactly;
+* stores are append-only and human-greppable — one run, one line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.results import InstanceRun
+from repro.errors import ReproError
+from repro.runner.task import SCHEMA_VERSION
+from repro.sat.stats import SolverStats
+
+
+class StoreError(ReproError):
+    """Raised when a result store file cannot be used."""
+
+
+def run_to_record(run: InstanceRun, fingerprint: str,
+                  seed: int | None = None) -> dict:
+    """Serialise one run into a JSON-able store record."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "task": fingerprint,
+        "instance": run.instance_name,
+        "pipeline": run.pipeline_name,
+        "status": run.status,
+        "transform_time": run.transform_time,
+        "solve_time": run.solve_time,
+        "num_vars": run.num_vars,
+        "num_clauses": run.num_clauses,
+        "seed": seed,
+        "stats": run.stats.as_dict(),
+    }
+
+
+def record_to_run(record: dict) -> InstanceRun:
+    """Reconstruct the :class:`InstanceRun` stored in ``record``."""
+    return InstanceRun(
+        instance_name=record["instance"],
+        pipeline_name=record["pipeline"],
+        status=record["status"],
+        transform_time=record["transform_time"],
+        solve_time=record["solve_time"],
+        stats=SolverStats(**record["stats"]),
+        num_vars=record["num_vars"],
+        num_clauses=record["num_clauses"],
+    )
+
+
+def canonical_record(run: InstanceRun) -> dict:
+    """The deterministic portion of a run — every field except wall-clock.
+
+    Two executions of the same task (serial or parallel, any worker) must
+    agree on this record byte for byte; only the timing fields may differ.
+    """
+    stats = run.stats.as_dict()
+    stats.pop("solve_time", None)
+    return {
+        "instance": run.instance_name,
+        "pipeline": run.pipeline_name,
+        "status": run.status,
+        "num_vars": run.num_vars,
+        "num_clauses": run.num_clauses,
+        "stats": stats,
+    }
+
+
+class ResultStore:
+    """Append-only JSONL store of task results, indexed by fingerprint."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self._skipped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        """Index the existing file; tolerate a torn (interrupted) tail."""
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self._skipped_lines += 1
+                    continue
+                if (not isinstance(record, dict)
+                        or record.get("schema") != SCHEMA_VERSION
+                        or "task" not in record):
+                    self._skipped_lines += 1
+                    continue
+                self._records[record["task"]] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    @property
+    def skipped_lines(self) -> int:
+        """Corrupt / incompatible lines ignored while loading (torn writes)."""
+        return self._skipped_lines
+
+    def get_record(self, fingerprint: str) -> dict | None:
+        return self._records.get(fingerprint)
+
+    def get(self, fingerprint: str) -> InstanceRun | None:
+        """Cache lookup: the stored run for ``fingerprint``, if any."""
+        record = self._records.get(fingerprint)
+        return record_to_run(record) if record is not None else None
+
+    def put(self, fingerprint: str, run: InstanceRun,
+            seed: int | None = None) -> dict:
+        """Persist one result; flushed line-by-line so interrupts lose at
+        most the run currently being written."""
+        record = run_to_record(run, fingerprint, seed=seed)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+        self._records[fingerprint] = record
+        return record
+
+    def runs(self) -> list[InstanceRun]:
+        """All stored runs, in file order."""
+        return [record_to_run(record) for record in self._records.values()]

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro.runner`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.runner.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.suite == "test"
+        assert args.pipelines == ["Baseline", "Comp.", "Ours"]
+        assert args.jobs == 1
+
+    def test_rejects_unknown_pipeline(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--pipelines", "Nope"])
+
+    def test_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--suite", "nope"])
+
+
+class TestMain:
+    def run_cli(self, tmp_path, capsys, extra=()):
+        store = tmp_path / "sweep.jsonl"
+        code = main([
+            "--suite", "training", "--size", "2", "--pipelines", "Baseline",
+            "--time-limit", "15", "--store", str(store), *extra,
+        ])
+        assert code == 0
+        return store, capsys.readouterr().out
+
+    def test_sweep_writes_store_and_reports(self, tmp_path, capsys):
+        store, out = self.run_cli(tmp_path, capsys)
+        assert store.exists()
+        records = [json.loads(line) for line in store.read_text().splitlines()]
+        assert len(records) == 2
+        assert {record["pipeline"] for record in records} == {"Baseline"}
+        assert "runtime comparison" in out
+        assert "0 cache hits" in out
+
+    def test_second_invocation_is_fully_cached(self, tmp_path, capsys):
+        self.run_cli(tmp_path, capsys)
+        store, out = self.run_cli(tmp_path, capsys)
+        assert "2 cache hits, 0 executed (100% cached)" in out
+        # Aggregates come straight from the store, so they reproduce exactly.
+        records = [json.loads(line) for line in store.read_text().splitlines()]
+        assert len(records) == 2
