@@ -73,6 +73,11 @@ class AIG:
         self._pi_names: list[str] = []
         self._po_names: list[str] = []
         self._strash: dict[tuple[int, int], int] = {}
+        # Lazily computed structural-query caches.  The graph is append-only,
+        # so the only mutations that can invalidate them are node creation
+        # (both) and PO registration (fanout counts only).
+        self._fanout_cache: list[int] | None = None
+        self._levels_cache: list[int] | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -85,6 +90,8 @@ class AIG:
         self._is_pi.append(True)
         self._pis.append(var)
         self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        self._fanout_cache = None
+        self._levels_cache = None
         return lit(var)
 
     def add_and(self, a: int, b: int) -> int:
@@ -110,6 +117,8 @@ class AIG:
         self._fanins.append(key)
         self._is_pi.append(False)
         self._strash[key] = var
+        self._fanout_cache = None
+        self._levels_cache = None
         return lit(var)
 
     def add_po(self, literal: int, name: str | None = None) -> int:
@@ -117,6 +126,7 @@ class AIG:
         self._check_literal(literal)
         self._pos.append(literal)
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        self._fanout_cache = None  # POs count as fanout; levels are unaffected
         return len(self._pos) - 1
 
     # Derived constructors -------------------------------------------------
@@ -236,23 +246,39 @@ class AIG:
         """Return, per variable, the number of fanout references.
 
         References from both AND fanins and primary outputs are counted.
+        The result is computed once and cached until the AIG mutates; a
+        fresh copy is returned on every call so callers may decrement it
+        freely (as the MFFC machinery does).
         """
-        counts = [0] * self.num_vars
-        for var in self.and_vars():
-            lit0, lit1 = self.fanins(var)
-            counts[lit_var(lit0)] += 1
-            counts[lit_var(lit1)] += 1
-        for po in self._pos:
-            counts[lit_var(po)] += 1
-        return counts
+        if self._fanout_cache is None:
+            counts = [0] * self.num_vars
+            fanins = self._fanins
+            for var in range(1, len(fanins)):
+                pair = fanins[var]
+                if pair is not None:
+                    counts[pair[0] >> 1] += 1
+                    counts[pair[1] >> 1] += 1
+            for po in self._pos:
+                counts[po >> 1] += 1
+            self._fanout_cache = counts
+        return list(self._fanout_cache)
 
     def levels(self) -> list[int]:
-        """Return the logic level (depth from PIs) of every variable."""
-        level = [0] * self.num_vars
-        for var in self.and_vars():
-            lit0, lit1 = self.fanins(var)
-            level[var] = 1 + max(level[lit_var(lit0)], level[lit_var(lit1)])
-        return level
+        """Return the logic level (depth from PIs) of every variable.
+
+        Cached until the AIG mutates; a fresh copy is returned per call.
+        """
+        if self._levels_cache is None:
+            level = [0] * self.num_vars
+            fanins = self._fanins
+            for var in range(1, len(fanins)):
+                pair = fanins[var]
+                if pair is not None:
+                    level0 = level[pair[0] >> 1]
+                    level1 = level[pair[1] >> 1]
+                    level[var] = 1 + (level0 if level0 >= level1 else level1)
+            self._levels_cache = level
+        return list(self._levels_cache)
 
     def depth(self) -> int:
         """Return the depth of the AIG (longest PI-to-PO path in AND nodes)."""

@@ -13,10 +13,45 @@ single pass over the AIG evaluates 64 input vectors at once.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 import numpy as np
 
 from repro.aig.aig import AIG, lit_is_complemented, lit_var
 from repro.errors import AigError
+
+#: Per-AIG cache of the flattened AND-node fanin arrays used by simulate().
+#: AIGs are append-only (a node's fanins never change once created), so a
+#: cached entry stays valid as long as the variable count is unchanged.
+_FANIN_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _fanin_arrays(aig: AIG) -> tuple[list[int], list[int], list[int],
+                                     list[int], list[int]]:
+    """Return (and_vars, fanin0, fanin1, comp0, comp1) as plain int lists.
+
+    Flattening the per-node ``fanins()`` tuples into parallel lists once per
+    AIG removes all attribute lookups and literal decoding from the
+    simulation inner loop.
+    """
+    cached = _FANIN_CACHE.get(aig)
+    if cached is not None and cached[0] == aig.num_vars:
+        return cached[1]
+    and_vars: list[int] = []
+    fanin0: list[int] = []
+    fanin1: list[int] = []
+    comp0: list[int] = []
+    comp1: list[int] = []
+    for var in aig.and_vars():
+        lit0, lit1 = aig.fanins(var)
+        and_vars.append(var)
+        fanin0.append(lit0 >> 1)
+        fanin1.append(lit1 >> 1)
+        comp0.append(lit0 & 1)
+        comp1.append(lit1 & 1)
+    arrays = (and_vars, fanin0, fanin1, comp0, comp1)
+    _FANIN_CACHE[aig] = (aig.num_vars, arrays)
+    return arrays
 
 
 def simulate(aig: AIG, pi_words: np.ndarray) -> np.ndarray:
@@ -35,19 +70,24 @@ def simulate(aig: AIG, pi_words: np.ndarray) -> np.ndarray:
             f"got {pi_words.shape}"
         )
     num_words = pi_words.shape[1]
-    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
     values = np.zeros((aig.num_vars, num_words), dtype=np.uint64)
     for row, pi_var in enumerate(aig.pis):
         values[pi_var] = pi_words[row]
-    for var in aig.and_vars():
-        lit0, lit1 = aig.fanins(var)
-        word0 = values[lit_var(lit0)]
-        word1 = values[lit_var(lit1)]
-        if lit_is_complemented(lit0):
-            word0 = word0 ^ ones
-        if lit_is_complemented(lit1):
-            word1 = word1 ^ ones
-        values[var] = word0 & word1
+    and_vars, fanin0, fanin1, comp0, comp1 = _fanin_arrays(aig)
+    # Scratch buffers for complemented edges keep the per-node work
+    # allocation-free: every numpy op below writes into preallocated memory.
+    scratch0 = np.empty(num_words, dtype=np.uint64)
+    scratch1 = np.empty(num_words, dtype=np.uint64)
+    for index, var in enumerate(and_vars):
+        word0 = values[fanin0[index]]
+        word1 = values[fanin1[index]]
+        if comp0[index]:
+            np.bitwise_not(word0, out=scratch0)
+            word0 = scratch0
+        if comp1[index]:
+            np.bitwise_not(word1, out=scratch1)
+            word1 = scratch1
+        np.bitwise_and(word0, word1, out=values[var])
     return values
 
 
@@ -83,13 +123,19 @@ def exhaustive_pi_words(num_pis: int) -> np.ndarray:
         raise AigError("exhaustive simulation supports at most 16 primary inputs")
     num_patterns = 1 << num_pis
     num_words = max(1, num_patterns // 64)
-    pi_words = np.zeros((num_pis, num_words), dtype=np.uint64)
-    for pattern in range(num_patterns):
-        word_index, bit_index = divmod(pattern, 64)
-        for pi_index in range(num_pis):
-            if (pattern >> pi_index) & 1:
-                pi_words[pi_index, word_index] |= np.uint64(1) << np.uint64(bit_index)
-    return pi_words
+    total_bits = num_words * 64
+    # Pattern index of every bit position, broadcast against the PI axis:
+    # bits[pi, b] is the value of PI `pi` in pattern `b` (zero-padded when
+    # fewer than 64 patterns exist).
+    pattern_index = np.arange(total_bits, dtype=np.uint64)
+    pi_shift = np.arange(num_pis, dtype=np.uint64)[:, None]
+    bits = (pattern_index[None, :] >> pi_shift) & np.uint64(1)
+    if num_patterns < total_bits:
+        bits &= (pattern_index[None, :] < num_patterns).astype(np.uint64)
+    # Pack 64 consecutive pattern bits into each output word.
+    bit_shift = np.arange(64, dtype=np.uint64)[None, None, :]
+    packed = bits.reshape(num_pis, num_words, 64) << bit_shift
+    return np.bitwise_or.reduce(packed, axis=2)
 
 
 def simulate_exhaustive(aig: AIG) -> np.ndarray:

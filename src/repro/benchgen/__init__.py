@@ -31,6 +31,7 @@ from repro.benchgen.lec import (
     multiplier_commutativity_miter,
     mutate_aig,
 )
+from repro.benchgen.random_logic import pigeonhole_cnf, random_aig, random_cnf
 from repro.benchgen.suite import (
     CsatInstance,
     generate_test_suite,
@@ -38,6 +39,9 @@ from repro.benchgen.suite import (
 )
 
 __all__ = [
+    "random_aig",
+    "random_cnf",
+    "pigeonhole_cnf",
     "ripple_carry_adder",
     "carry_select_adder",
     "array_multiplier",

@@ -1,0 +1,85 @@
+"""Seeded synthetic instances: random AIGs, random k-SAT, pigeonhole CNFs.
+
+One set of generators shared by the test-suite and the :mod:`repro.perf`
+benchmark suite, so both exercise the same circuit and formula shapes and a
+change here is visible to both at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aig.aig import AIG, lit_not
+from repro.cnf.cnf import Cnf
+
+
+def random_aig(num_pis: int = 6, num_nodes: int = 30, num_pos: int = 2,
+               seed: int = 0, xor_bias: float = 0.3) -> AIG:
+    """Build a random combinational AIG.
+
+    The construction mixes AND/OR/XOR/MUX compositions of previously created
+    literals so the result exercises shared fanout, complemented edges and
+    reconvergence.  ``xor_bias`` controls how XOR-rich the circuit is.
+    Fully deterministic for a given argument tuple.
+    """
+    rng = np.random.default_rng(seed)
+    aig = AIG(name=f"random_{seed}")
+    literals = [aig.add_pi() for _ in range(num_pis)]
+    for _ in range(num_nodes):
+        a = literals[rng.integers(len(literals))]
+        b = literals[rng.integers(len(literals))]
+        if rng.random() < 0.3:
+            a = lit_not(a)
+        roll = rng.random()
+        if roll < xor_bias:
+            literals.append(aig.add_xor(a, b))
+        elif roll < xor_bias + 0.35:
+            literals.append(aig.add_and(a, b))
+        elif roll < xor_bias + 0.6:
+            literals.append(aig.add_or(a, b))
+        else:
+            c = literals[rng.integers(len(literals))]
+            literals.append(aig.add_mux(a, b, c))
+    for index in range(num_pos):
+        aig.add_po(literals[-(index + 1)])
+    return aig
+
+
+def random_cnf(num_vars: int, num_clauses: int, seed: int,
+               min_width: int = 1, max_width: int = 3) -> Cnf:
+    """A uniform random k-SAT formula with clause widths in [min, max].
+
+    When ``min_width == max_width`` no width is drawn from the RNG, so the
+    fixed-width stream (used by the perf suite) and the variable-width
+    stream (used by the differential tests) are each stable under changes
+    to the other.
+    """
+    rng = np.random.default_rng(seed)
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        if min_width == max_width:
+            width = min_width
+        else:
+            width = int(rng.integers(min_width, max_width + 1))
+        variables = rng.choice(num_vars, size=min(width, num_vars), replace=False)
+        clause = [int(var + 1) * (1 if rng.random() < 0.5 else -1)
+                  for var in variables]
+        cnf.add_clause(clause)
+    return cnf
+
+
+def pigeonhole_cnf(holes: int) -> Cnf:
+    """PHP(holes+1, holes): the classic propagation/conflict-heavy UNSAT."""
+    pigeons = holes + 1
+    cnf = Cnf(pigeons * holes)
+
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    for pigeon in range(pigeons):
+        cnf.add_clause([var(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for first in range(pigeons):
+            for second in range(first + 1, pigeons):
+                cnf.add_clause([-var(first, hole), -var(second, hole)])
+    return cnf

@@ -30,10 +30,16 @@ def _check_nvars(nvars: int) -> None:
         )
 
 
+#: Memoised all-ones masks, indexed by variable count.  Building the mask is
+#: a big-int shift, and the synthesis kernels request the same few widths
+#: millions of times, so a table lookup pays for itself immediately.
+_MASKS: tuple[int, ...] = tuple((1 << (1 << n)) - 1 for n in range(_MAX_VARS + 1))
+
+
 def tt_mask(nvars: int) -> TruthTable:
     """Return the all-ones mask for a truth table over ``nvars`` variables."""
     _check_nvars(nvars)
-    return (1 << (1 << nvars)) - 1
+    return _MASKS[nvars]
 
 
 def tt_const0(nvars: int) -> TruthTable:
@@ -174,6 +180,21 @@ def tt_expand(table: TruthTable, old_positions: Sequence[int], old_nvars: int,
     _check_nvars(new_nvars)
     if len(old_positions) < old_nvars:
         raise TruthTableError("old_positions must cover every old variable")
+    monotonic = all(old_positions[i] < old_positions[i + 1]
+                    for i in range(old_nvars - 1))
+    if monotonic:
+        # Order-preserving mapping (the cut-merge case): expansion is a
+        # sequence of don't-care variable insertions, each a chunked
+        # duplicate-and-shift over the whole table — O(2^n / chunk) big-int
+        # operations instead of one Python iteration per output minterm.
+        mentioned = set(old_positions[:old_nvars])
+        nvars = old_nvars
+        for position in range(new_nvars):
+            if position in mentioned:
+                continue
+            table = _tt_insert_var(table, position, nvars)
+            nvars += 1
+        return table & _MASKS[new_nvars]
     result = 0
     for new_minterm in range(1 << new_nvars):
         old_minterm = 0
@@ -182,6 +203,22 @@ def tt_expand(table: TruthTable, old_positions: Sequence[int], old_nvars: int,
                 old_minterm |= 1 << old_var
         if (table >> old_minterm) & 1:
             result |= 1 << new_minterm
+    return result
+
+
+def _tt_insert_var(table: TruthTable, position: int, nvars: int) -> TruthTable:
+    """Insert a don't-care variable at ``position`` into an ``nvars`` table."""
+    chunk = 1 << position
+    chunk_mask = (1 << chunk) - 1
+    result = 0
+    total_bits = 1 << nvars
+    shift_in = 0
+    shift_out = 0
+    while shift_in < total_bits:
+        part = (table >> shift_in) & chunk_mask
+        result |= (part | (part << chunk)) << shift_out
+        shift_in += chunk
+        shift_out += 2 * chunk
     return result
 
 

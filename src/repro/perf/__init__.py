@@ -1,0 +1,18 @@
+"""Micro-benchmark subsystem recording the performance trajectory.
+
+``python -m repro.perf`` runs a fixed, seeded suite of solver and synthesis
+micro-benchmarks and writes ``BENCH_perf.json`` (per-benchmark median
+seconds plus work counters).  See :mod:`repro.perf.suite` for the workload
+definitions and :mod:`repro.perf.bench` for the timing harness.
+"""
+
+from repro.perf.bench import Benchmark, BenchResult, run_benchmark, run_suite
+from repro.perf.suite import default_suite
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "default_suite",
+    "run_benchmark",
+    "run_suite",
+]

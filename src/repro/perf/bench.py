@@ -1,0 +1,89 @@
+"""Micro-benchmark harness: timed repeats, medians, counter capture.
+
+A :class:`Benchmark` couples an untimed ``setup`` (building CNFs / AIGs)
+with a timed ``run``.  The harness executes ``run`` a fixed number of times
+through :func:`time.perf_counter` and reports the median, which is robust
+against one-off scheduler noise without needing many repeats.  ``run`` may
+return a dictionary of counters (e.g. solver propagations) that is attached
+to the result so the JSON trajectory records work done, not just seconds.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One named micro-benchmark.
+
+    ``setup`` runs once, untimed, and returns an arbitrary payload;
+    ``run`` receives the payload and is timed.  ``run`` must not mutate the
+    payload in a way that changes the work of the next repeat.
+    """
+
+    name: str
+    category: str  # "solver" or "synthesis"
+    setup: Callable[[], object]
+    run: Callable[[object], dict[str, float] | None]
+    description: str = ""
+
+
+@dataclass
+class BenchResult:
+    """Timing outcome of one benchmark."""
+
+    name: str
+    category: str
+    median_s: float
+    min_s: float
+    repeats: int
+    counters: dict[str, float] = field(default_factory=dict)
+    description: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "median_s": self.median_s,
+            "min_s": self.min_s,
+            "repeats": self.repeats,
+            "counters": self.counters,
+            "description": self.description,
+        }
+
+
+def run_benchmark(benchmark: Benchmark, repeats: int = 5) -> BenchResult:
+    """Execute ``benchmark`` ``repeats`` times and return the median timing."""
+    payload = benchmark.setup()
+    timings: list[float] = []
+    counters: dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = benchmark.run(payload)
+        timings.append(time.perf_counter() - start)
+        if result:
+            counters = {key: float(value) for key, value in result.items()}
+    return BenchResult(
+        name=benchmark.name,
+        category=benchmark.category,
+        median_s=statistics.median(timings),
+        min_s=min(timings),
+        repeats=len(timings),
+        counters=counters,
+        description=benchmark.description,
+    )
+
+
+def run_suite(benchmarks: list[Benchmark], repeats: int = 5,
+              progress: Callable[[str], None] | None = None) -> list[BenchResult]:
+    """Run every benchmark in order; deterministic given seeded workloads."""
+    results = []
+    for benchmark in benchmarks:
+        if progress is not None:
+            progress(benchmark.name)
+        results.append(run_benchmark(benchmark, repeats=repeats))
+    return results

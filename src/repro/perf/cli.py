@@ -1,0 +1,88 @@
+"""Command-line entry point: ``python -m repro.perf``.
+
+Runs the fixed micro-benchmark suite, prints a table and writes
+``BENCH_perf.json``.  The JSON file is the unit of the performance
+trajectory: every perf-focused PR re-runs the suite and records its medians,
+so regressions and wins are visible across the repository's history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+from repro.perf.bench import BenchResult, run_suite
+from repro.perf.suite import default_suite
+
+#: Bump when the JSON layout changes.
+SCHEMA_VERSION = 1
+
+
+def format_table(results: list[BenchResult]) -> str:
+    """Render results as a fixed-width text table."""
+    header = f"{'benchmark':<22} {'category':<10} {'median':>10} {'min':>10}  counters"
+    lines = [header, "-" * len(header)]
+    for result in results:
+        counters = "  ".join(f"{key}={int(value) if float(value).is_integer() else value}"
+                             for key, value in sorted(result.counters.items()))
+        lines.append(f"{result.name:<22} {result.category:<10} "
+                     f"{result.median_s * 1000:>8.1f}ms {result.min_s * 1000:>8.1f}ms"
+                     f"  {counters}")
+    return "\n".join(lines)
+
+
+def results_payload(results: list[BenchResult], mode: str,
+                    repeats: int) -> dict[str, object]:
+    """Build the ``BENCH_perf.json`` document."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": {result.name: result.as_dict() for result in results},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Run the repro micro-benchmark suite and write BENCH_perf.json.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken workloads for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed repeats per benchmark (default: 5, quick: 3)")
+    parser.add_argument("--filter", default=None, metavar="SUBSTRING",
+                        help="only run benchmarks whose name contains SUBSTRING")
+    parser.add_argument("--out", default="BENCH_perf.json", metavar="PATH",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print the table but do not write the JSON file")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 5)
+    benchmarks = default_suite(quick=args.quick)
+    if args.filter:
+        benchmarks = [b for b in benchmarks if args.filter in b.name]
+        if not benchmarks:
+            print(f"no benchmark matches {args.filter!r}", file=sys.stderr)
+            return 2
+
+    mode = "quick" if args.quick else "full"
+    print(f"repro.perf: {len(benchmarks)} benchmarks, mode={mode}, "
+          f"repeats={repeats}")
+    results = run_suite(benchmarks, repeats=repeats,
+                        progress=lambda name: print(f"  running {name} ..."))
+    print()
+    print(format_table(results))
+
+    if not args.no_write:
+        payload = results_payload(results, mode=mode, repeats=repeats)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+    return 0

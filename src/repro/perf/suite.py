@@ -1,0 +1,141 @@
+"""The fixed, seeded micro-benchmark suite behind ``python -m repro.perf``.
+
+Every workload is generated from hard-coded seeds so that two runs of the
+suite — on the same machine and source tree — measure exactly the same work,
+and so that the counters recorded in ``BENCH_perf.json`` (propagations,
+conflicts, cut counts) are bit-for-bit reproducible.  The suite covers the
+two hot paths the reproduction spends its time in:
+
+* the CDCL solver's propagate/analyze cycle (random 3-SAT near the phase
+  transition, the pigeonhole principle, a LEC miter);
+* the synthesis kernels (cut enumeration, bit-parallel simulation,
+  exhaustive-pattern generation, AIG structural queries).
+
+``--quick`` shrinks every workload so the whole suite finishes in a few
+seconds — that mode exists for CI smoke coverage, not for trajectory
+numbers.
+"""
+
+from __future__ import annotations
+
+from repro.aig.simulate import exhaustive_pi_words, simulate, simulate_random
+from repro.benchgen.lec import multiplier_commutativity_miter
+from repro.benchgen.random_logic import pigeonhole_cnf, random_aig, random_cnf
+from repro.cnf.cnf import Cnf
+from repro.cnf.tseitin import tseitin_encode
+from repro.perf.bench import Benchmark
+from repro.sat.solver import CdclSolver
+from repro.synthesis.cuts import enumerate_cuts
+
+
+def _solve_batch(cnfs: list[Cnf]) -> dict[str, float]:
+    propagations = conflicts = decisions = sat = unsat = 0
+    for cnf in cnfs:
+        result = CdclSolver(cnf).solve()
+        propagations += result.stats.propagations
+        conflicts += result.stats.conflicts
+        decisions += result.stats.decisions
+        sat += result.is_sat
+        unsat += result.is_unsat
+    return {"propagations": propagations, "conflicts": conflicts,
+            "decisions": decisions, "sat": sat, "unsat": unsat}
+
+
+# --------------------------------------------------------------------- #
+# Suite definition
+# --------------------------------------------------------------------- #
+
+
+def default_suite(quick: bool = False) -> list[Benchmark]:
+    """Build the benchmark list; ``quick`` shrinks every workload for CI."""
+    # (num_vars, seeds) for the random 3-SAT batch, at clause ratio ~4.26.
+    sat_vars = 80 if quick else 120
+    sat_seeds = range(2) if quick else range(6)
+    php_holes = 5 if quick else 7
+    miter_width = 3 if quick else 4
+    # One shared random AIG size: cuts_enumerate, sim_random and
+    # aig_stat_queries all run on random_aig(12, aig_nodes, seed=7) so their
+    # counters describe the same circuit.
+    aig_nodes = 300 if quick else 1200
+    sim_words = 64 if quick else 512
+    exhaustive_pis = 10 if quick else 14
+    query_rounds = 20 if quick else 200
+
+    benchmarks = [
+        Benchmark(
+            name="solver_random3sat",
+            category="solver",
+            description=(f"random 3-SAT at the phase transition, "
+                         f"{sat_vars} vars x {len(sat_seeds)} seeds "
+                         f"(propagation-heavy)"),
+            setup=lambda: [random_cnf(sat_vars, int(sat_vars * 4.26), seed,
+                                      min_width=3, max_width=3)
+                           for seed in sat_seeds],
+            run=_solve_batch,
+        ),
+        Benchmark(
+            name="solver_pigeonhole",
+            category="solver",
+            description=f"pigeonhole PHP({php_holes + 1},{php_holes}), "
+                        f"conflict-analysis heavy UNSAT",
+            setup=lambda: [pigeonhole_cnf(php_holes)],
+            run=_solve_batch,
+        ),
+        Benchmark(
+            name="solver_lec_miter",
+            category="solver",
+            description=f"Tseitin-encoded multiplier commutativity miter, "
+                        f"width {miter_width} (circuit UNSAT)",
+            setup=lambda: [tseitin_encode(
+                multiplier_commutativity_miter(miter_width))],
+            run=_solve_batch,
+        ),
+        Benchmark(
+            name="cuts_enumerate",
+            category="synthesis",
+            description=f"4-feasible priority-cut enumeration on a random "
+                        f"AIG (~{aig_nodes} composite nodes)",
+            setup=lambda: random_aig(12, aig_nodes, seed=7),
+            run=lambda aig: {
+                "cuts": sum(len(cut_list) for cut_list in
+                            enumerate_cuts(aig, k=4, max_cuts=8).values()),
+                "ands": aig.num_ands,
+            },
+        ),
+        Benchmark(
+            name="sim_random",
+            category="synthesis",
+            description=f"bit-parallel random simulation, {sim_words} words "
+                        f"({sim_words * 64} patterns) per node",
+            setup=lambda: random_aig(12, aig_nodes, seed=7),
+            run=lambda aig: {
+                "words": float(simulate_random(
+                    aig, num_patterns=64 * sim_words, seed=3).size),
+            },
+        ),
+        Benchmark(
+            name="sim_exhaustive",
+            category="synthesis",
+            description=f"exhaustive pattern generation + simulation over "
+                        f"{exhaustive_pis} PIs",
+            setup=lambda: random_aig(exhaustive_pis, 300, seed=11),
+            run=lambda aig: {
+                "patterns": float(1 << exhaustive_pis),
+                "values": float(simulate(
+                    aig, exhaustive_pi_words(exhaustive_pis)).size),
+            },
+        ),
+        Benchmark(
+            name="aig_stat_queries",
+            category="synthesis",
+            description=f"fanout_counts + levels, {query_rounds} rounds on an "
+                        f"immutable AIG (exercises structural-query caching)",
+            setup=lambda: random_aig(12, aig_nodes, seed=7),
+            run=lambda aig: {
+                "rounds": float(sum(
+                    len(aig.fanout_counts()) + len(aig.levels()) > 0
+                    for _ in range(query_rounds))),
+            },
+        ),
+    ]
+    return benchmarks

@@ -17,7 +17,13 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class SolverConfig:
-    """Tunable parameters of :class:`repro.sat.solver.CdclSolver`."""
+    """Tunable parameters of :class:`repro.sat.solver.CdclSolver`.
+
+    ``reduce_fraction`` is the fraction of eligible learned clauses (high
+    glue, length > 2, not locked as reasons) that each database reduction
+    *deletes*, worst glue first.  It was previously named
+    ``reduce_keep_fraction``, which described the opposite of what it did.
+    """
 
     name: str = "default"
     var_decay: float = 0.95
@@ -27,7 +33,7 @@ class SolverConfig:
     default_phase: bool = False
     phase_saving: bool = True
     reduce_interval: int = 2000
-    reduce_keep_fraction: float = 0.5
+    reduce_fraction: float = 0.5
     max_lbd_keep: int = 3
     random_decision_freq: float = 0.0
     seed: int = 0
@@ -39,6 +45,8 @@ class SolverConfig:
             raise ValueError(f"unknown restart strategy {self.restart_strategy!r}")
         if self.restart_interval <= 0:
             raise ValueError("restart_interval must be positive")
+        if not 0.0 <= self.reduce_fraction <= 1.0:
+            raise ValueError("reduce_fraction must lie in [0, 1]")
 
 
 def kissat_like() -> SolverConfig:

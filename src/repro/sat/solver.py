@@ -3,29 +3,38 @@
 The implementation follows the canonical MiniSat architecture with the
 modern additions the paper's target solvers (Kissat, CaDiCaL) rely on:
 
-* two-watched-literal unit propagation;
-* first-UIP conflict analysis with learned-clause minimisation;
-* VSIDS variable activities with phase saving;
+* two-watched-literal unit propagation with *blocker literals* (each watch
+  carries a cached literal of its clause; when the blocker is already true
+  the clause is skipped without dereferencing it);
+* first-UIP conflict analysis with learned-clause minimisation, running on
+  epoch-stamped scratch arrays so no per-conflict allocation is needed;
+* VSIDS variable activities on an indexed binary heap
+  (:class:`repro.sat.heap.VarOrderHeap`) with phase saving;
 * Luby or geometric restarts;
-* glue-based (LBD) learned-clause database reduction.
+* glue-based (LBD) learned-clause database reduction performed in place:
+  deleted clauses are detached from their two watch lists and their slots
+  recycled, so clause indices — and therefore reason references — stay
+  stable across reductions.
 
 Internally literals are encoded as ``2 * var + sign`` with 0-based variables;
 the public interface speaks DIMACS (1-based signed integers) through
-:class:`repro.cnf.Cnf`.
+:class:`repro.cnf.Cnf`.  Assignments are stored per *literal*
+(``_lit_val[lit]`` is 1/0/-1 for true/false/unassigned), which turns the
+propagation inner loop's value checks into single list lookups.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from heapq import heappop, heappush
 
 from repro.cnf.cnf import Cnf
 from repro.errors import SolverError
 from repro.sat.configs import SolverConfig
+from repro.sat.heap import VarOrderHeap
 from repro.sat.stats import SolverStats
 
-#: Tri-state assignment values.
+#: Tri-state literal values stored in ``_lit_val``.
 _UNASSIGNED = -1
 _FALSE = 0
 _TRUE = 1
@@ -74,12 +83,17 @@ class CdclSolver:
         self.num_vars = cnf.num_vars
         self.stats = SolverStats()
 
-        self._clauses: list[list[int]] = []
+        # Clause storage: deleted slots become None and are recycled through
+        # the free list, so indices (and reason references) never move.
+        self._clauses: list[list[int] | None] = []
         self._clause_lbd: list[int] = []
-        self._num_original = 0
+        self._learned_indices: list[int] = []
+        self._free_indices: list[int] = []
+        # Watch lists are flat interleaved arrays:
+        # [clause_index0, blocker0, clause_index1, blocker1, ...].
         self._watches: list[list[int]] = [[] for _ in range(2 * self.num_vars)]
 
-        self._assign = [_UNASSIGNED] * self.num_vars
+        self._lit_val = [_UNASSIGNED] * (2 * self.num_vars)
         self._level = [0] * self.num_vars
         self._reason: list[int] = [-1] * self.num_vars
         self._trail: list[int] = []
@@ -88,8 +102,16 @@ class CdclSolver:
 
         self._activity = [0.0] * self.num_vars
         self._var_inc = 1.0
-        self._heap: list[tuple[float, int]] = []
+        self._order = VarOrderHeap(self._activity)
         self._saved_phase = [self.config.default_phase] * self.num_vars
+
+        # Epoch-stamped scratch arrays for conflict analysis: an array cell
+        # counts as "set" when it equals the current epoch, so clearing is a
+        # single integer increment instead of a fresh allocation.
+        self._seen_stamp = [0] * self.num_vars
+        self._marked_stamp = [0] * self.num_vars
+        self._level_stamp = [0] * (self.num_vars + 1)
+        self._epoch = 0
 
         self._ok = True
         self._trivially_unsat = False
@@ -113,9 +135,7 @@ class CdclSolver:
                     return
             else:
                 self._attach_clause(literals, lbd=0, learned=False)
-        self._num_original = len(self._clauses)
-        for var in range(self.num_vars):
-            heappush(self._heap, (0.0, var))
+        self._order.build(list(range(self.num_vars)))
 
     def _convert_clause(self, clause: list[int]) -> list[int] | None:
         literals: list[int] = []
@@ -134,31 +154,45 @@ class CdclSolver:
         return literals
 
     def _attach_clause(self, literals: list[int], lbd: int, learned: bool) -> int:
-        index = len(self._clauses)
-        self._clauses.append(literals)
-        self._clause_lbd.append(lbd if learned else 0)
-        self._watches[literals[0]].append(index)
-        self._watches[literals[1]].append(index)
+        if self._free_indices:
+            index = self._free_indices.pop()
+            self._clauses[index] = literals
+            self._clause_lbd[index] = lbd if learned else 0
+        else:
+            index = len(self._clauses)
+            self._clauses.append(literals)
+            self._clause_lbd.append(lbd if learned else 0)
+        watch0 = self._watches[literals[0]]
+        watch0.append(index)
+        watch0.append(literals[1])
+        watch1 = self._watches[literals[1]]
+        watch1.append(index)
+        watch1.append(literals[0])
+        if learned:
+            self._learned_indices.append(index)
         return index
+
+    def _detach_watch(self, literal: int, clause_index: int) -> None:
+        """Remove one (clause, blocker) pair from a watch list."""
+        watch_list = self._watches[literal]
+        for position in range(0, len(watch_list), 2):
+            if watch_list[position] == clause_index:
+                watch_list[position] = watch_list[-2]
+                watch_list[position + 1] = watch_list[-1]
+                del watch_list[-2:]
+                return
 
     # ------------------------------------------------------------------ #
     # Assignment primitives
     # ------------------------------------------------------------------ #
 
-    def _lit_value(self, literal: int) -> int:
-        value = self._assign[literal >> 1]
-        if value == _UNASSIGNED:
-            return _UNASSIGNED
-        return value ^ (literal & 1)
-
     def _enqueue(self, literal: int, reason: int) -> bool:
-        value = self._lit_value(literal)
-        if value == _FALSE:
-            return False
-        if value == _TRUE:
-            return True
+        value = self._lit_val[literal]
+        if value >= 0:
+            return value == _TRUE
+        self._lit_val[literal] = _TRUE
+        self._lit_val[literal ^ 1] = _FALSE
         var = literal >> 1
-        self._assign[var] = _TRUE if (literal & 1) == 0 else _FALSE
         self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._trail.append(literal)
@@ -168,46 +202,79 @@ class CdclSolver:
         """Run unit propagation; return a conflicting clause index or -1."""
         watches = self._watches
         clauses = self._clauses
-        while self._queue_head < len(self._trail):
-            literal = self._trail[self._queue_head]
+        lit_val = self._lit_val
+        level = self._level
+        reason = self._reason
+        trail = self._trail
+        decision_level = len(self._trail_lim)
+        propagations = 0
+        while self._queue_head < len(trail):
+            literal = trail[self._queue_head]
             self._queue_head += 1
-            self.stats.propagations += 1
+            propagations += 1
             false_literal = literal ^ 1
             watch_list = watches[false_literal]
-            new_watch_list = []
-            index = 0
+            read = 0
+            write = 0
             length = len(watch_list)
-            while index < length:
-                clause_index = watch_list[index]
-                index += 1
+            while read < length:
+                clause_index = watch_list[read]
+                blocker = watch_list[read + 1]
+                read += 2
+                # Blocker already true: the clause is satisfied, skip it
+                # without touching the clause itself.
+                if lit_val[blocker] == 1:
+                    watch_list[write] = clause_index
+                    watch_list[write + 1] = blocker
+                    write += 2
+                    continue
                 clause = clauses[clause_index]
                 # Ensure the false literal is in position 1.
                 if clause[0] == false_literal:
-                    clause[0], clause[1] = clause[1], clause[0]
+                    clause[0] = clause[1]
+                    clause[1] = false_literal
                 first = clause[0]
-                if self._lit_value(first) == _TRUE:
-                    new_watch_list.append(clause_index)
+                if lit_val[first] == 1:
+                    watch_list[write] = clause_index
+                    watch_list[write + 1] = first
+                    write += 2
                     continue
                 # Look for a replacement watch.
                 found = False
                 for position in range(2, len(clause)):
                     candidate = clause[position]
-                    if self._lit_value(candidate) != _FALSE:
-                        clause[1], clause[position] = clause[position], clause[1]
-                        watches[clause[1]].append(clause_index)
+                    if lit_val[candidate] != 0:
+                        clause[1] = candidate
+                        clause[position] = false_literal
+                        other_list = watches[candidate]
+                        other_list.append(clause_index)
+                        other_list.append(first)
                         found = True
                         break
                 if found:
                     continue
                 # No replacement: clause is unit or conflicting.
-                new_watch_list.append(clause_index)
-                if self._lit_value(first) == _FALSE:
+                watch_list[write] = clause_index
+                watch_list[write + 1] = first
+                write += 2
+                if lit_val[first] == 0:
                     # Conflict: keep the remaining watchers and bail out.
-                    new_watch_list.extend(watch_list[index:])
-                    watches[false_literal] = new_watch_list
+                    while read < length:
+                        watch_list[write] = watch_list[read]
+                        write += 1
+                        read += 1
+                    del watch_list[write:]
+                    self.stats.propagations += propagations
                     return clause_index
-                self._enqueue(first, clause_index)
-            watches[false_literal] = new_watch_list
+                # Unit: enqueue (inlined for the hot path).
+                lit_val[first] = 1
+                lit_val[first ^ 1] = 0
+                var = first >> 1
+                level[var] = decision_level
+                reason[var] = clause_index
+                trail.append(first)
+            del watch_list[write:]
+        self.stats.propagations += propagations
         return -1
 
     # ------------------------------------------------------------------ #
@@ -216,53 +283,65 @@ class CdclSolver:
 
     def _analyze(self, conflict_index: int) -> tuple[list[int], int, int]:
         """First-UIP analysis; returns (learned clause, backtrack level, lbd)."""
+        self._epoch += 1
+        epoch = self._epoch
+        seen = self._seen_stamp
+        level = self._level
+        trail = self._trail
+        clauses = self._clauses
+        reasons = self._reason
+
         learned: list[int] = [0]  # placeholder for the asserting literal
-        seen = [False] * self.num_vars
         counter = 0
         literal = -1
-        index = len(self._trail) - 1
+        index = len(trail) - 1
         clause_index = conflict_index
         current_level = len(self._trail_lim)
 
         while True:
-            clause = self._clauses[clause_index]
-            start = 0 if literal == -1 else 1
-            for position in range(start, len(clause)):
+            clause = clauses[clause_index]
+            for position in range(0 if literal == -1 else 1, len(clause)):
                 reason_literal = clause[position]
                 var = reason_literal >> 1
-                if seen[var] or self._level[var] == 0:
+                if seen[var] == epoch or level[var] == 0:
                     continue
-                seen[var] = True
+                seen[var] = epoch
                 self._bump_variable(var)
-                if self._level[var] >= current_level:
+                if level[var] >= current_level:
                     counter += 1
                 else:
                     learned.append(reason_literal)
             # Select the next literal to resolve on.
-            while not seen[self._trail[index] >> 1]:
+            while seen[trail[index] >> 1] != epoch:
                 index -= 1
-            literal = self._trail[index]
+            literal = trail[index]
             index -= 1
             var = literal >> 1
-            seen[var] = False
+            seen[var] = 0
             counter -= 1
             if counter == 0:
                 break
-            clause_index = self._reason[var]
+            clause_index = reasons[var]
         learned[0] = literal ^ 1
 
         # Learned-clause minimisation: drop literals implied by the rest.
+        marked = self._marked_stamp
+        for learned_literal in learned:
+            marked[learned_literal >> 1] = epoch
         minimized = [learned[0]]
-        marked = {lit >> 1 for lit in learned}
         for reason_literal in learned[1:]:
             var = reason_literal >> 1
-            reason = self._reason[var]
-            if reason == -1:
+            reason_index = reasons[var]
+            if reason_index == -1:
                 minimized.append(reason_literal)
                 continue
-            implied = all(((other >> 1) in marked or self._level[other >> 1] == 0)
-                          for other in self._clauses[reason]
-                          if (other >> 1) != var)
+            implied = True
+            for other in clauses[reason_index]:
+                other_var = other >> 1
+                if (other_var != var and marked[other_var] != epoch
+                        and level[other_var] != 0):
+                    implied = False
+                    break
             if not implied:
                 minimized.append(reason_literal)
         learned = minimized
@@ -273,21 +352,29 @@ class CdclSolver:
         else:
             max_index = 1
             for position in range(2, len(learned)):
-                if (self._level[learned[position] >> 1]
-                        > self._level[learned[max_index] >> 1]):
+                if (level[learned[position] >> 1]
+                        > level[learned[max_index] >> 1]):
                     max_index = position
             learned[1], learned[max_index] = learned[max_index], learned[1]
-            backtrack_level = self._level[learned[1] >> 1]
-        levels = {self._level[lit >> 1] for lit in learned}
-        return learned, backtrack_level, len(levels)
+            backtrack_level = level[learned[1] >> 1]
+        level_stamp = self._level_stamp
+        lbd = 0
+        for learned_literal in learned:
+            literal_level = level[learned_literal >> 1]
+            if level_stamp[literal_level] != epoch:
+                level_stamp[literal_level] = epoch
+                lbd += 1
+        return learned, backtrack_level, lbd
 
     def _bump_variable(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
+        activity = self._activity
+        activity[var] += self._var_inc
+        if activity[var] > 1e100:
+            # Rescaling is uniform, so the heap order is unaffected.
             for index in range(self.num_vars):
-                self._activity[index] *= 1e-100
+                activity[index] *= 1e-100
             self._var_inc *= 1e-100
-        heappush(self._heap, (-self._activity[var], var))
+        self._order.update(var)
 
     def _decay_activities(self) -> None:
         self._var_inc /= self.config.var_decay
@@ -295,30 +382,39 @@ class CdclSolver:
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
             return
+        trail = self._trail
+        lit_val = self._lit_val
+        reasons = self._reason
+        order = self._order
+        saved_phase = self._saved_phase
+        phase_saving = self.config.phase_saving
         boundary = self._trail_lim[level]
-        for position in range(len(self._trail) - 1, boundary - 1, -1):
-            literal = self._trail[position]
+        for position in range(len(trail) - 1, boundary - 1, -1):
+            literal = trail[position]
             var = literal >> 1
-            if self.config.phase_saving:
-                self._saved_phase[var] = (literal & 1) == 0
-            self._assign[var] = _UNASSIGNED
-            self._reason[var] = -1
-            heappush(self._heap, (-self._activity[var], var))
-        del self._trail[boundary:]
+            if phase_saving:
+                saved_phase[var] = (literal & 1) == 0
+            lit_val[literal] = _UNASSIGNED
+            lit_val[literal ^ 1] = _UNASSIGNED
+            reasons[var] = -1
+            order.insert(var)
+        del trail[boundary:]
         del self._trail_lim[level:]
-        self._queue_head = len(self._trail)
+        self._queue_head = len(trail)
 
     # ------------------------------------------------------------------ #
     # Decisions
     # ------------------------------------------------------------------ #
 
     def _pick_branch_variable(self) -> int:
-        while self._heap:
-            _, var = heappop(self._heap)
-            if self._assign[var] == _UNASSIGNED:
-                return var
-        for var in range(self.num_vars):
-            if self._assign[var] == _UNASSIGNED:
+        # Every unassigned variable is on the heap (the initial bulk build
+        # inserts all of them and _backtrack re-inserts on unassignment), so
+        # popping until an unassigned variable surfaces is complete.
+        order = self._order
+        lit_val = self._lit_val
+        while order.heap:
+            var = order.pop()
+            if lit_val[2 * var] == _UNASSIGNED:
                 return var
         return -1
 
@@ -340,38 +436,38 @@ class CdclSolver:
     # ------------------------------------------------------------------ #
 
     def _reduce_database(self) -> None:
-        learned_indices = list(range(self._num_original, len(self._clauses)))
-        if len(learned_indices) < 20:
+        """Delete high-glue learned clauses in place.
+
+        Clauses are detached from their two watch lists and their slots
+        pushed onto the free list; no watch-list rebuild and no reason-index
+        remapping is needed because indices stay stable.
+        """
+        if len(self._learned_indices) < 20:
             return
+        clauses = self._clauses
+        clause_lbd = self._clause_lbd
         locked = {self._reason[literal >> 1] for literal in self._trail}
-        candidates = [index for index in learned_indices
+        candidates = [index for index in self._learned_indices
                       if index not in locked
-                      and len(self._clauses[index]) > 2
-                      and self._clause_lbd[index] > self.config.max_lbd_keep]
-        candidates.sort(key=lambda index: self._clause_lbd[index], reverse=True)
-        to_delete = set(candidates[: int(len(candidates)
-                                         * self.config.reduce_keep_fraction)])
+                      and clauses[index] is not None
+                      and len(clauses[index]) > 2
+                      and clause_lbd[index] > self.config.max_lbd_keep]
+        candidates.sort(key=lambda index: clause_lbd[index], reverse=True)
+        to_delete = candidates[: int(len(candidates)
+                                     * self.config.reduce_fraction)]
         if not to_delete:
             return
         self.stats.deleted_clauses += len(to_delete)
-
-        keep_pairs = [(clause, self._clause_lbd[index])
-                      for index, clause in enumerate(self._clauses)
-                      if index not in to_delete]
-        old_to_new = {}
-        new_index = 0
-        for index in range(len(self._clauses)):
-            if index not in to_delete:
-                old_to_new[index] = new_index
-                new_index += 1
-        self._clauses = [pair[0] for pair in keep_pairs]
-        self._clause_lbd = [pair[1] for pair in keep_pairs]
-        self._watches = [[] for _ in range(2 * self.num_vars)]
-        for index, clause in enumerate(self._clauses):
-            self._watches[clause[0]].append(index)
-            self._watches[clause[1]].append(index)
-        self._reason = [old_to_new.get(reason, -1) if reason >= 0 else -1
-                        for reason in self._reason]
+        for index in to_delete:
+            clause = clauses[index]
+            self._detach_watch(clause[0], index)
+            self._detach_watch(clause[1], index)
+            clauses[index] = None
+            self._free_indices.append(index)
+        delete_set = set(to_delete)
+        self._learned_indices = [index for index in self._learned_indices
+                                 if index not in delete_set
+                                 and clauses[index] is not None]
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -439,7 +535,8 @@ class CdclSolver:
                 return SolveResult(status="UNKNOWN", model=None, stats=self.stats)
 
             if not self._decide():
-                model = {var + 1: self._assign[var] == _TRUE
+                lit_val = self._lit_val
+                model = {var + 1: lit_val[2 * var] == _TRUE
                          for var in range(self.num_vars)}
                 self.stats.solve_time = time.perf_counter() - start_time
                 return SolveResult(status="SAT", model=model, stats=self.stats)

@@ -2,41 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.aig import AIG, lit_not
+from repro.aig import AIG
 from repro.aig.simulate import po_truth_tables
+from repro.benchgen.random_logic import random_aig
 
-
-def random_aig(num_pis: int = 6, num_nodes: int = 30, num_pos: int = 2,
-               seed: int = 0, xor_bias: float = 0.3) -> AIG:
-    """Build a random combinational AIG for testing.
-
-    The construction mixes AND/OR/XOR/MUX compositions of previously created
-    literals so the result exercises shared fanout, complemented edges and
-    reconvergence.  ``xor_bias`` controls how XOR-rich the circuit is.
-    """
-    rng = np.random.default_rng(seed)
-    aig = AIG(name=f"random_{seed}")
-    literals = [aig.add_pi() for _ in range(num_pis)]
-    for _ in range(num_nodes):
-        a = literals[rng.integers(len(literals))]
-        b = literals[rng.integers(len(literals))]
-        if rng.random() < 0.3:
-            a = lit_not(a)
-        roll = rng.random()
-        if roll < xor_bias:
-            literals.append(aig.add_xor(a, b))
-        elif roll < xor_bias + 0.35:
-            literals.append(aig.add_and(a, b))
-        elif roll < xor_bias + 0.6:
-            literals.append(aig.add_or(a, b))
-        else:
-            c = literals[rng.integers(len(literals))]
-            literals.append(aig.add_mux(a, b, c))
-    for index in range(num_pos):
-        aig.add_po(literals[-(index + 1)])
-    return aig
+__all__ = ["random_aig", "ripple_adder_aig", "functionally_equivalent"]
 
 
 def ripple_adder_aig(width: int = 4) -> AIG:

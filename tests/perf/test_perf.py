@@ -1,0 +1,108 @@
+"""Tests for the repro.perf micro-benchmark subsystem."""
+
+import json
+
+import pytest
+
+from repro.perf import Benchmark, default_suite, run_benchmark, run_suite
+from repro.perf.cli import format_table, main, results_payload
+
+
+class TestHarness:
+    def test_run_benchmark_reports_median_and_counters(self):
+        calls = []
+        benchmark = Benchmark(
+            name="dummy",
+            category="solver",
+            setup=lambda: [1, 2, 3],
+            run=lambda payload: calls.append(1) or {"items": len(payload)},
+        )
+        result = run_benchmark(benchmark, repeats=3)
+        assert result.name == "dummy"
+        assert result.repeats == 3
+        assert len(calls) == 3
+        assert result.counters == {"items": 3.0}
+        assert result.median_s >= 0.0
+        assert result.min_s <= result.median_s
+
+    def test_setup_runs_once(self):
+        setups = []
+        benchmark = Benchmark(
+            name="setup_once",
+            category="synthesis",
+            setup=lambda: setups.append(1),
+            run=lambda payload: None,
+        )
+        run_benchmark(benchmark, repeats=4)
+        assert len(setups) == 1
+
+
+class TestSuiteDefinition:
+    def test_suite_shape(self):
+        suite = default_suite(quick=True)
+        names = [benchmark.name for benchmark in suite]
+        assert len(names) == len(set(names)), "benchmark names must be unique"
+        solver = [b for b in suite if b.category == "solver"]
+        synthesis = [b for b in suite if b.category == "synthesis"]
+        assert len(solver) >= 3
+        assert len(synthesis) >= 3
+
+    def test_quick_suite_runs_and_is_deterministic(self):
+        suite = default_suite(quick=True)
+        lightweight = [b for b in suite
+                       if b.name in ("sim_exhaustive", "aig_stat_queries")]
+        first = run_suite(lightweight, repeats=1)
+        second = run_suite(lightweight, repeats=1)
+        assert [r.counters for r in first] == [r.counters for r in second]
+
+
+class TestCli:
+    def test_writes_bench_json(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        exit_code = main(["--quick", "--repeats", "1",
+                          "--filter", "sim_exhaustive", "--out", str(out)])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == 1
+        assert payload["mode"] == "quick"
+        assert "sim_exhaustive" in payload["benchmarks"]
+        entry = payload["benchmarks"]["sim_exhaustive"]
+        assert entry["median_s"] > 0.0
+        assert entry["category"] == "synthesis"
+
+    def test_solver_entries_carry_counters(self, tmp_path):
+        out = tmp_path / "bench.json"
+        exit_code = main(["--quick", "--repeats", "1",
+                          "--filter", "solver_lec_miter", "--out", str(out)])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        counters = payload["benchmarks"]["solver_lec_miter"]["counters"]
+        assert counters["propagations"] > 0
+        assert counters["conflicts"] >= 0
+        assert counters["unsat"] == 1
+
+    def test_unknown_filter_fails(self, capsys):
+        assert main(["--filter", "no_such_benchmark", "--no-write"]) == 2
+
+    def test_no_write_leaves_no_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(["--quick", "--repeats", "1",
+                          "--filter", "aig_stat_queries", "--no-write"])
+        assert exit_code == 0
+        assert not (tmp_path / "BENCH_perf.json").exists()
+
+    def test_format_table_lists_every_benchmark(self):
+        suite = default_suite(quick=True)
+        results = run_suite([b for b in suite if b.name == "aig_stat_queries"],
+                            repeats=1)
+        table = format_table(results)
+        assert "aig_stat_queries" in table
+        assert "ms" in table
+
+    def test_payload_round_trip(self):
+        suite = [b for b in default_suite(quick=True)
+                 if b.name == "aig_stat_queries"]
+        results = run_suite(suite, repeats=1)
+        payload = results_payload(results, mode="quick", repeats=1)
+        encoded = json.dumps(payload)
+        assert json.loads(encoded)["repeats"] == 1

@@ -5,6 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.benchgen import pigeonhole_cnf as _pigeonhole_cnf
+from repro.benchgen import random_cnf as _random_cnf
 from repro.cnf import Cnf, tseitin_encode
 from repro.errors import SolverError
 from repro.sat import (
@@ -17,35 +19,6 @@ from repro.sat import (
 )
 from repro.sat.solver import _luby
 from tests.helpers import random_aig, ripple_adder_aig
-
-
-def _random_cnf(num_vars, num_clauses, seed, clause_width=3):
-    rng = np.random.default_rng(seed)
-    cnf = Cnf(num_vars)
-    for _ in range(num_clauses):
-        width = rng.integers(1, clause_width + 1)
-        variables = rng.choice(num_vars, size=min(width, num_vars), replace=False)
-        clause = [int(var + 1) * (1 if rng.random() < 0.5 else -1)
-                  for var in variables]
-        cnf.add_clause(clause)
-    return cnf
-
-
-def _pigeonhole_cnf(holes):
-    """PHP(holes+1, holes): unsatisfiable pigeonhole principle."""
-    pigeons = holes + 1
-    cnf = Cnf(pigeons * holes)
-
-    def var(pigeon, hole):
-        return pigeon * holes + hole + 1
-
-    for pigeon in range(pigeons):
-        cnf.add_clause([var(pigeon, hole) for hole in range(holes)])
-    for hole in range(holes):
-        for first in range(pigeons):
-            for second in range(first + 1, pigeons):
-                cnf.add_clause([-var(first, hole), -var(second, hole)])
-    return cnf
 
 
 class TestBasicCases:

@@ -77,6 +77,46 @@ class TestEnumerateCuts:
                 assert reference == cut.table
 
 
+class TestIncludeTrivial:
+    def test_strips_every_trivial_cut_from_and_nodes(self):
+        # Regression: the stripping predicate used to keep single-leaf
+        # identity cuts whose leaf was a *different* node; with
+        # include_trivial=False no AND node may expose any trivial cut.
+        aig = random_aig(num_pis=6, num_nodes=40, seed=2)
+        cuts = enumerate_cuts(aig, k=4, include_trivial=False)
+        for var in aig.and_vars():
+            for cut in cuts[var]:
+                assert not cut.is_trivial(), (var, cut)
+
+    def test_non_trivial_cuts_are_preserved(self):
+        aig = random_aig(num_pis=6, num_nodes=40, seed=2)
+        with_trivial = enumerate_cuts(aig, k=4, include_trivial=True)
+        without = enumerate_cuts(aig, k=4, include_trivial=False)
+        for var in aig.and_vars():
+            expected = [cut for cut in with_trivial[var] if not cut.is_trivial()]
+            assert without[var] == expected
+
+    def test_pi_lists_untouched(self):
+        aig, (a, b, c), root = _xor_tree()
+        cuts = enumerate_cuts(aig, k=4, include_trivial=False)
+        for pi_literal in (a, b, c):
+            pi_var = pi_literal // 2
+            assert len(cuts[pi_var]) == 1
+            assert cuts[pi_var][0].leaves == (pi_var,)
+
+
+class TestCutSignatures:
+    def test_signature_matches_leaves(self):
+        aig = random_aig(num_pis=6, num_nodes=30, seed=4)
+        cuts = enumerate_cuts(aig, k=4)
+        for cut_list in cuts.values():
+            for cut in cut_list:
+                expected = 0
+                for leaf in cut.leaves:
+                    expected |= 1 << leaf
+                assert cut.signature == expected
+
+
 class TestReconvergenceCut:
     def test_small_cone_collapses_to_pis(self):
         aig, (a, b, c), root = _xor_tree()
