@@ -12,7 +12,7 @@ the scaled-down evaluation suite and reports the same reduction percentages.
 from repro.eval.runtime import run_comparison
 from repro.sat.configs import cadical_like
 
-from benchmarks.conftest import JOBS, TIME_LIMIT, bench_store, write_result
+from benchmarks.conftest import BACKEND, JOBS, TIME_LIMIT, bench_store, write_result
 
 
 def test_fig4_cadical_runtime_comparison(benchmark, evaluation_suite):
@@ -26,6 +26,7 @@ def test_fig4_cadical_runtime_comparison(benchmark, evaluation_suite):
             time_limit=TIME_LIMIT,
             jobs=JOBS,
             store=bench_store("fig4_cadical"),
+            backend=BACKEND,
         )
 
     comparison = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -14,7 +14,7 @@ preprocessing) with less total runtime.
 from repro.eval.runtime import run_comparison
 from repro.sat.configs import kissat_like
 
-from benchmarks.conftest import JOBS, TIME_LIMIT, bench_store, write_result
+from benchmarks.conftest import BACKEND, JOBS, TIME_LIMIT, bench_store, write_result
 
 
 def test_fig4_kissat_runtime_comparison(benchmark, evaluation_suite):
@@ -28,6 +28,7 @@ def test_fig4_kissat_runtime_comparison(benchmark, evaluation_suite):
             time_limit=TIME_LIMIT,
             jobs=JOBS,
             store=bench_store("fig4_kissat"),
+            backend=BACKEND,
         )
 
     comparison = benchmark.pedantic(run, rounds=1, iterations=1)

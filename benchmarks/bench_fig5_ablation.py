@@ -18,7 +18,7 @@ the ordering reported in the paper.
 from repro.eval.ablation import run_ablation
 from repro.sat.configs import kissat_like
 
-from benchmarks.conftest import JOBS, TIME_LIMIT, bench_store, write_result
+from benchmarks.conftest import BACKEND, JOBS, TIME_LIMIT, bench_store, write_result
 
 
 def test_fig5_ablation(benchmark, ablation_suite):
@@ -34,6 +34,7 @@ def test_fig5_ablation(benchmark, ablation_suite):
             random_seed=3,
             jobs=JOBS,
             store=bench_store("fig5_ablation"),
+            backend=BACKEND,
         )
 
     ablation = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -7,9 +7,11 @@ laptop with the pure-Python CDCL solver; set ``REPRO_BENCH_SCALE=large`` to
 use bigger suites and longer time limits.
 
 Every benchmark executes through :class:`repro.runner.BatchRunner`:
-``REPRO_BENCH_JOBS=N`` fans the sweep out over N worker processes and
+``REPRO_BENCH_JOBS=N`` fans the sweep out over N worker processes,
 ``REPRO_BENCH_CACHE=1`` persists results under ``benchmarks/results/cache/``
-so interrupted harness runs resume instead of restarting.
+so interrupted harness runs resume instead of restarting, and
+``REPRO_BENCH_BACKEND=kissat`` (or ``cadical``/``minisat``) reruns the
+figures against a real solver binary instead of the built-in CDCL solver.
 """
 
 from __future__ import annotations
@@ -34,6 +36,11 @@ TIME_LIMIT = 90.0 if os.environ.get("REPRO_BENCH_SCALE") != "large" else 600.0
 
 #: Worker processes for the batch runner behind every harness.
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Solver backend for every harness: ``internal`` (the built-in CDCL solver,
+#: default) or a real external solver — ``REPRO_BENCH_BACKEND=kissat``
+#: regenerates Fig. 4 against genuine Kissat when the binary is installed.
+BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "internal")
 
 
 def bench_store(name: str) -> ResultStore | None:

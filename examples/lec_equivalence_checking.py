@@ -5,37 +5,55 @@ This mirrors the paper's logic-equivalence-checking use case:
 
 1. build a ripple-carry adder (the "golden" design) and a carry-select adder
    (the "revised" implementation);
-2. form the XOR miter and run the preprocessing framework;
+2. form the XOR miter and run the preprocessing framework (Algorithm 1);
 3. an UNSAT answer proves the implementations equivalent;
 4. repeat against a deliberately buggy revision — the SAT answer's model is a
    counterexample input showing where the designs diverge.
 
+Every miter is also written to ``examples/artifacts/`` as an AIGER file (the
+script prints each path), so the same checks can be re-run from a shell::
+
+    repro solve examples/artifacts/lec_correct_revision.aag --pipeline ours
+    repro solve examples/artifacts/lec_buggy_revision.aag --pipeline ours
+
 Run with:  python examples/lec_equivalence_checking.py
 """
 
-from repro import kissat_like, ours_pipeline, solve_cnf
-from repro.aig.simulate import evaluate
-from repro.benchgen import build_miter, mutate_aig
-from repro.benchgen.datapath import carry_select_adder, ripple_carry_adder
+from pathlib import Path
+
+from repro import Preprocessor, kissat_like, solve_cnf, write_aiger_file
+from repro.aig import evaluate
+from repro.benchgen import (
+    build_miter,
+    carry_select_adder,
+    mutate_aig,
+    ripple_carry_adder,
+)
 
 WIDTH = 10
+ARTIFACTS = Path(__file__).parent / "artifacts"
 
 
 def check_equivalence(golden, revised, label):
     miter = build_miter(golden, revised, name=f"lec_{label}")
-    cnf, transform_time = ours_pipeline(miter)
-    result = solve_cnf(cnf, config=kissat_like(), time_limit=120.0)
-    print(f"[{label}] preprocessing {transform_time:.2f}s, "
+    ARTIFACTS.mkdir(exist_ok=True)
+    miter_path = ARTIFACTS / f"lec_{label}.aag"
+    write_aiger_file(miter, miter_path)
+    print(f"[{label}] miter saved to {miter_path}")
+
+    # The "Ours" pipeline (Algorithm 1), keeping the intermediate artefacts
+    # so a SAT model can be mapped back to the miter's inputs.
+    preprocessed = Preprocessor().preprocess(miter)
+    result = solve_cnf(preprocessed.cnf, config=kissat_like(),
+                       time_limit=120.0)
+    print(f"[{label}] preprocessing {preprocessed.preprocess_time:.2f}s, "
           f"solving {result.stats.solve_time:.2f}s, "
           f"decisions {result.stats.decisions}")
     if result.is_unsat:
         print(f"[{label}] UNSAT — the implementations are equivalent.\n")
         return None
     # Extract the counterexample: values of the miter PIs in the model.
-    assignment = []
-    for pi in miter.pis:
-        cnf_var = cnf.var_map.get(pi)
-        assignment.append(bool(result.model[cnf_var]) if cnf_var else False)
+    assignment = preprocessed.pi_assignment(result.model)
     print(f"[{label}] SAT — found a distinguishing input pattern.")
     return assignment
 
@@ -60,6 +78,8 @@ def main() -> None:
         print(f"  counterexample: a={a_value}, b={b_value}")
         print(f"  golden outputs: {golden_out}")
         print(f"  buggy  outputs: {buggy_out}")
+    print(f"\nArtifacts under {ARTIFACTS}: the miters can be re-checked "
+          f"with\n  repro solve <miter.aag> --pipeline ours")
 
 
 if __name__ == "__main__":

@@ -2,16 +2,28 @@
 """Quickstart: preprocess one Circuit-SAT instance and compare pipelines.
 
 The script builds a small LEC instance (a ripple-carry adder checked against
-a buggy carry-select adder), runs the three pipelines of the paper —
-Baseline (direct Tseitin CNF), Comp. (size-oriented circuit preprocessing)
-and Ours (RL-style recipe + cost-customised LUT mapping) — and prints the
-CNF sizes, solver decisions ("branching times") and runtimes.
+a buggy carry-select adder), saves it as an AIGER artifact, runs the three
+pipelines of the paper — Baseline (direct Tseitin CNF), Comp. (size-oriented
+circuit preprocessing) and Ours (RL-style recipe + cost-customised LUT
+mapping) — through the public API, and finishes by solving the saved file
+through the ``repro`` CLI exactly as you would from a shell.
+
+Artifacts land in ``examples/artifacts/`` (the script prints every path), so
+afterwards you can re-run any step yourself, e.g.::
+
+    repro solve examples/artifacts/quickstart_miter.aag --pipeline ours
+    repro info  examples/artifacts/quickstart_miter.aag
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import kissat_like, run_pipeline
+from pathlib import Path
+
+from repro import kissat_like, run_pipeline, write_aiger_file
 from repro.benchgen import adder_equivalence_miter
+from repro.cli import main as repro_cli
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
 
 
 def main() -> None:
@@ -19,7 +31,12 @@ def main() -> None:
     # single injected bug, so the miter has a distinguishing input pattern.
     instance = adder_equivalence_miter(12, mutated=True, seed=1)
     print(f"Instance: {instance.name}  "
-          f"({instance.num_pis} PIs, {instance.num_ands} AND gates)\n")
+          f"({instance.num_pis} PIs, {instance.num_ands} AND gates)")
+
+    ARTIFACTS.mkdir(exist_ok=True)
+    miter_path = ARTIFACTS / "quickstart_miter.aag"
+    write_aiger_file(instance, miter_path)
+    print(f"Saved the instance to {miter_path}\n")
 
     print(f"{'pipeline':<10s} {'status':<8s} {'vars':>6s} {'clauses':>8s} "
           f"{'decisions':>10s} {'transform':>10s} {'solve':>8s}")
@@ -34,6 +51,17 @@ def main() -> None:
           "nodes inside LUTs,\nso they have far fewer variables; Ours "
           "additionally minimises the branching\ncomplexity of each LUT, "
           "which reduces the solver's decision count on hard instances.")
+
+    # The same run through the CLI, from the saved file.  ``repro preprocess``
+    # leaves the Ours-encoded CNF next to the circuit for external solvers.
+    cnf_path = ARTIFACTS / "quickstart_miter.ours.cnf"
+    print(f"\n$ repro preprocess {miter_path} --pipeline ours -o {cnf_path}")
+    repro_cli(["preprocess", str(miter_path), "--pipeline", "ours",
+               "-o", str(cnf_path)])
+    print(f"\n$ repro solve {cnf_path} --no-model")
+    exit_code = repro_cli(["solve", str(cnf_path), "--no-model"])
+    print(f"(exit code {exit_code}: 10 = SAT, 20 = UNSAT)")
+    print(f"\nArtifacts: {miter_path}\n           {cnf_path}")
 
 
 if __name__ == "__main__":

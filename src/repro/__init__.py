@@ -18,13 +18,23 @@ Quick start::
     ours = run_pipeline(instance, "Ours", config=kissat_like())
     print(baseline.decisions, "->", ours.decisions)
 
-See README.md for installation and the runner CLI; the harnesses under
-``benchmarks/`` regenerate every table and figure of the paper, and
-``python -m repro.runner`` executes whole sweeps in parallel with a
-persistent result cache.
+From the command line the same framework is ``python -m repro`` (the
+``repro`` console script of an installed checkout): ``repro solve file.cnf``
+or ``repro solve circuit.aag --pipeline ours`` solve standard DIMACS/AIGER
+workloads, optionally against a real external solver
+(``--backend kissat``); ``repro bench`` runs whole sweeps in parallel with a
+persistent result cache.  See README.md and docs/cli.md; the harnesses
+under ``benchmarks/`` regenerate every table and figure of the paper.
 """
 
-from repro.aig import AIG, read_aiger, read_aiger_file, write_aiger, write_aiger_file
+from repro.aig import (
+    AIG,
+    load_aiger,
+    read_aiger,
+    read_aiger_file,
+    write_aiger,
+    write_aiger_file,
+)
 from repro.benchgen import (
     atpg_instance,
     build_miter,
@@ -33,7 +43,17 @@ from repro.benchgen import (
     lec_instance,
     ripple_carry_adder,
 )
-from repro.cnf import Cnf, lut_netlist_to_cnf, read_dimacs, tseitin_encode, write_dimacs
+from repro.cnf import (
+    Cnf,
+    lut_netlist_to_cnf,
+    parse_dimacs,
+    read_dimacs,
+    read_dimacs_file,
+    render_dimacs,
+    tseitin_encode,
+    write_dimacs,
+    write_dimacs_file,
+)
 from repro.core import (
     Preprocessor,
     baseline_pipeline,
@@ -44,7 +64,17 @@ from repro.core import (
 from repro.mapping import branching_complexity, map_aig
 from repro.rl import DqnAgent, RandomAgent, SynthesisEnv, train_dqn
 from repro.runner import BatchRunner, ResultStore, Task
-from repro.sat import CdclSolver, cadical_like, kissat_like, solve_cnf
+from repro.sat import (
+    CdclSolver,
+    InternalBackend,
+    SolverBackend,
+    SubprocessBackend,
+    available_backends,
+    cadical_like,
+    get_backend,
+    kissat_like,
+    solve_cnf,
+)
 from repro.synthesis import apply_recipe, balance, refactor, resub, rewrite
 
 __version__ = "0.1.0"
@@ -72,11 +102,22 @@ __all__ = [
     "lut_netlist_to_cnf",
     "read_dimacs",
     "write_dimacs",
+    "parse_dimacs",
+    "render_dimacs",
+    "read_dimacs_file",
+    "write_dimacs_file",
     # SAT solving
     "CdclSolver",
     "solve_cnf",
     "kissat_like",
     "cadical_like",
+    "SolverBackend",
+    "InternalBackend",
+    "SubprocessBackend",
+    "get_backend",
+    "available_backends",
+    # AIGER I/O
+    "load_aiger",
     # Benchmarks
     "ripple_carry_adder",
     "lec_instance",

@@ -1,0 +1,11 @@
+"""Package entry point: ``python -m repro`` runs the unified CLI.
+
+Equivalent to the ``repro`` console script of an installed checkout; see
+:mod:`repro.cli` for the subcommands.
+"""
+
+import sys
+
+from repro.cli.main import main
+
+sys.exit(main())

@@ -16,7 +16,15 @@ from repro.aig.aig import (
     lit_regular,
     lit_var,
 )
-from repro.aig.aiger import read_aiger, write_aiger, read_aiger_file, write_aiger_file
+from repro.aig.aiger import (
+    load_aiger,
+    read_aiger,
+    read_aiger_binary,
+    read_aiger_file,
+    write_aiger,
+    write_aiger_binary,
+    write_aiger_file,
+)
 from repro.aig.simulate import evaluate, simulate, simulate_exhaustive, simulate_random
 from repro.aig.stats import AigStats, balance_ratio, compute_stats
 
@@ -33,6 +41,9 @@ __all__ = [
     "write_aiger",
     "read_aiger_file",
     "write_aiger_file",
+    "load_aiger",
+    "read_aiger_binary",
+    "write_aiger_binary",
     "simulate",
     "simulate_random",
     "simulate_exhaustive",

@@ -1,0 +1,23 @@
+"""``repro`` — the unified command-line front door to the framework.
+
+``python -m repro`` (or the ``repro`` console script from an installed
+checkout) exposes the paper's whole pipeline — RL-guided synthesis recipe →
+cost-customised LUT mapping → CNF → CDCL (Algorithm 1, Sec. III) — on
+standard circuit and formula files:
+
+* ``repro solve FILE``       — solve a ``.cnf`` / ``.aag`` / ``.aig`` file,
+  optionally preprocessing circuits through any named pipeline and
+  dispatching to any solver backend, with SAT-competition output;
+* ``repro preprocess FILE``  — run a pipeline and write the resulting
+  DIMACS CNF (the transformation of Sec. IV in isolation);
+* ``repro bench ...``        — the parallel sweep runner
+  (:mod:`repro.runner.cli`) under the unified entry point;
+* ``repro info [FILE]``      — inspect a file, or report the installed
+  pipelines and solver-backend availability.
+
+See ``docs/cli.md`` for the full flag reference and worked examples.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

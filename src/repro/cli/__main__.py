@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.cli`` (same as ``python -m repro``)."""
+
+import sys
+
+from repro.cli.main import main
+
+sys.exit(main())

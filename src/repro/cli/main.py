@@ -1,0 +1,437 @@
+"""Argument parsing and subcommand implementations of the ``repro`` CLI.
+
+The CLI is a thin layer: file I/O comes from :mod:`repro.cnf.dimacs` and
+:mod:`repro.aig.aiger`, preprocessing from :data:`repro.core.pipeline.PIPELINES`
+(the Baseline / Comp. / Ours pipelines of Sec. IV), and solving from
+:mod:`repro.sat.backends` — the built-in CDCL solver or a real external
+binary.  ``solve`` speaks the SAT-competition output conventions
+(``c``/``s``/``v`` lines, exit codes 10 / 20 / 0) so the tool drops into
+existing solver harnesses unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.aig.aig import AIG
+from repro.aig.aiger import load_aiger
+from repro.cnf.cnf import Cnf
+from repro.cnf.dimacs import parse_dimacs, write_dimacs_file
+from repro.core.pipeline import PIPELINES
+from repro.errors import ReproError
+from repro.sat.backends import (
+    BACKEND_NAMES,
+    available_backends,
+    ensure_available,
+    resolve_backend,
+)
+from repro.sat.configs import SolverConfig, cadical_like, kissat_like
+from repro.sat.solver import SolveResult
+from repro.synthesis.recipe import OPERATIONS
+
+#: CLI spellings of the named pipelines (the registry uses the paper labels).
+PIPELINE_ALIASES = {
+    "baseline": "Baseline",
+    "comp": "Comp.",
+    "comp.": "Comp.",
+    "ours": "Ours",
+}
+
+CONFIG_PRESETS = {
+    "default": SolverConfig,
+    "kissat_like": kissat_like,
+    "cadical_like": cadical_like,
+}
+
+#: SAT-competition exit codes for ``solve``.
+EXIT_CODES = {"SAT": 10, "UNSAT": 20, "UNKNOWN": 0, "TIMEOUT": 0}
+
+#: File extensions treated as DIMACS CNF; AIGER files are sniffed by header.
+CNF_SUFFIXES = (".cnf", ".dimacs")
+AIGER_SUFFIXES = (".aag", ".aig")
+
+
+class CliError(ReproError):
+    """A user-facing CLI failure (bad file, bad flag combination)."""
+
+
+# --------------------------------------------------------------------- #
+# Input loading
+
+
+def load_input(path: str | Path) -> tuple[str, Cnf | AIG]:
+    """Load ``path`` as ``("cnf", Cnf)`` or ``("aig", AIG)``.
+
+    The kind is chosen by extension first (``.cnf``/``.dimacs`` vs.
+    ``.aag``/``.aig``) and by content sniffing for anything else, so
+    renamed or extensionless benchmark files still load.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CliError(f"no such file: {path}")
+    suffix = path.suffix.lower()
+    if suffix in CNF_SUFFIXES:
+        return "cnf", parse_dimacs(path.read_text(), strict=False)
+    if suffix in AIGER_SUFFIXES:
+        return "aig", load_aiger(path)
+    head = path.read_bytes()[:16]
+    if head.startswith(b"aag ") or head.startswith(b"aig "):
+        return "aig", load_aiger(path)
+    if head.lstrip().startswith((b"p ", b"c", b"p\t")):
+        return "cnf", parse_dimacs(path.read_text(), strict=False)
+    raise CliError(
+        f"cannot determine the format of {path}: expected a DIMACS CNF "
+        f"(.cnf) or an AIGER circuit (.aag/.aig)"
+    )
+
+
+def resolve_pipeline(name: str) -> str:
+    """Map a CLI pipeline spelling to its registry name."""
+    canonical = PIPELINE_ALIASES.get(name.lower())
+    if canonical is None:
+        raise CliError(
+            f"unknown pipeline {name!r}; choose from "
+            f"{', '.join(sorted(PIPELINE_ALIASES))}"
+        )
+    return canonical
+
+
+def parse_recipe(text: str) -> list[str]:
+    """Parse a comma/space-separated synthesis recipe, validating each op."""
+    operations = [op for chunk in text.split(",") for op in chunk.split() if op]
+    for op in operations:
+        if op not in OPERATIONS and op != "end":
+            raise CliError(
+                f"unknown synthesis operation {op!r} in --recipe; "
+                f"available: {', '.join(OPERATIONS)}"
+            )
+    return operations
+
+
+def pipeline_kwargs_from_args(args: argparse.Namespace,
+                              pipeline: str) -> dict:
+    """Collect the per-pipeline keyword arguments selected on the CLI."""
+    kwargs: dict = {}
+    if pipeline == "Baseline":
+        if args.recipe is not None or args.lut_size is not None:
+            raise CliError(
+                "--recipe/--lut-size configure the Comp./Ours mappers and "
+                "do not apply to the Baseline pipeline"
+            )
+        return kwargs
+    if args.lut_size is not None:
+        kwargs["lut_size"] = args.lut_size
+    if args.recipe is not None:
+        kwargs["recipe"] = parse_recipe(args.recipe)
+    return kwargs
+
+
+# --------------------------------------------------------------------- #
+# Output helpers
+
+
+def _emit(line: str = "", quiet: bool = False) -> None:
+    if not quiet:
+        print(line)
+
+
+def _comment(message: str, quiet: bool = False) -> None:
+    _emit(f"c {message}", quiet)
+
+
+def _model_lines(result: SolveResult, num_vars: int) -> list[str]:
+    """Render the model as SAT-competition ``v`` lines (wrapped, 0-ended)."""
+    literals = []
+    for var in range(1, num_vars + 1):
+        value = result.model.get(var, False)
+        literals.append(str(var if value else -var))
+    literals.append("0")
+    lines = []
+    current = "v"
+    for token in literals:
+        if len(current) + 1 + len(token) > 78:
+            lines.append(current)
+            current = "v"
+        current += " " + token
+    lines.append(current)
+    return lines
+
+
+def _write_json(payload: dict, destination: str) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        Path(destination).write_text(text + "\n")
+
+
+# --------------------------------------------------------------------- #
+# Subcommands
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    kind, instance = load_input(args.file)
+    config = CONFIG_PRESETS[args.config]()
+    backend = resolve_backend(args.backend, binary=args.solver_binary)
+    # Fail fast on a missing external binary — before the (potentially
+    # minutes-long) preprocessing pipeline runs, not after.
+    ensure_available(backend)
+    quiet = args.quiet
+
+    _comment(f"repro solve {args.file}", quiet)
+    transform_time = 0.0
+    pipeline_name = None
+    recipe = None
+    if kind == "aig":
+        pipeline_name = resolve_pipeline(args.pipeline)
+        kwargs = pipeline_kwargs_from_args(args, pipeline_name)
+        _comment(f"circuit: {instance.num_pis} PIs, {instance.num_pos} POs, "
+                 f"{instance.num_ands} AND gates", quiet)
+        cnf, transform_time = PIPELINES[pipeline_name](instance, **kwargs)
+        recipe = kwargs.get("recipe")
+        _comment(f"pipeline {pipeline_name}: encoded in "
+                 f"{transform_time:.3f} s", quiet)
+    else:
+        # --pipeline has a default and is silently unused for CNF input;
+        # only flags that always imply circuit preprocessing are rejected.
+        if args.recipe is not None or args.lut_size is not None:
+            raise CliError(
+                f"{args.file} is already CNF; --recipe/--lut-size apply "
+                f"only to circuit (.aag/.aig) inputs"
+            )
+        cnf = instance
+    _comment(f"cnf: {cnf.num_vars} variables, {cnf.num_clauses} clauses",
+             quiet)
+    _comment(f"backend {backend.name} (config {config.name}, "
+             f"time limit {args.time_limit})", quiet)
+
+    start = time.perf_counter()
+    result = backend.solve(cnf, config=config, time_limit=args.time_limit,
+                           max_conflicts=args.max_conflicts,
+                           max_decisions=args.max_decisions)
+    solve_time = time.perf_counter() - start
+
+    stats = result.stats
+    _comment(f"decisions {stats.decisions} conflicts {stats.conflicts} "
+             f"propagations {stats.propagations} restarts {stats.restarts}",
+             quiet)
+    _comment(f"solve time {solve_time:.3f} s "
+             f"(total {transform_time + solve_time:.3f} s)", quiet)
+
+    status_word = {"SAT": "SATISFIABLE", "UNSAT": "UNSATISFIABLE"}.get(
+        result.status, "UNKNOWN")
+    print(f"s {status_word}")
+    if result.is_sat and not args.no_model:
+        for line in _model_lines(result, cnf.num_vars):
+            print(line)
+
+    if args.json is not None:
+        payload = {
+            "file": str(args.file),
+            "kind": kind,
+            "pipeline": pipeline_name,
+            "recipe": recipe,
+            "backend": backend.name,
+            "config": config.name,
+            "status": result.status,
+            "num_vars": cnf.num_vars,
+            "num_clauses": cnf.num_clauses,
+            "transform_time": transform_time,
+            "solve_time": solve_time,
+            "stats": stats.as_dict(),
+            "model": ({str(var): value for var, value in result.model.items()}
+                      if result.is_sat and not args.no_model else None),
+        }
+        _write_json(payload, args.json)
+    return EXIT_CODES.get(result.status, 0)
+
+
+def cmd_preprocess(args: argparse.Namespace) -> int:
+    kind, instance = load_input(args.file)
+    if kind != "aig":
+        raise CliError(
+            f"{args.file} is already CNF; preprocess takes a circuit "
+            f"(.aag/.aig) input"
+        )
+    pipeline_name = resolve_pipeline(args.pipeline)
+    kwargs = pipeline_kwargs_from_args(args, pipeline_name)
+
+    cnf, transform_time = PIPELINES[pipeline_name](instance, **kwargs)
+
+    output = Path(args.output) if args.output else Path(
+        Path(args.file).stem + f".{args.pipeline.lower().rstrip('.')}.cnf")
+    comments = [
+        f"generated by repro preprocess ({pipeline_name} pipeline)",
+        f"source: {args.file}",
+    ]
+    if "recipe" in kwargs:
+        comments.append(f"recipe: {','.join(kwargs['recipe'])}")
+    write_dimacs_file(cnf, output, comments=comments)
+
+    _comment(f"repro preprocess {args.file}", args.quiet)
+    _comment(f"circuit: {instance.num_pis} PIs, {instance.num_pos} POs, "
+             f"{instance.num_ands} AND gates", args.quiet)
+    _comment(f"pipeline {pipeline_name}: {cnf.num_vars} variables, "
+             f"{cnf.num_clauses} clauses in {transform_time:.3f} s",
+             args.quiet)
+    _emit(f"wrote {output}", args.quiet)
+
+    if args.json is not None:
+        _write_json({
+            "file": str(args.file),
+            "pipeline": pipeline_name,
+            "output": str(output),
+            "num_vars": cnf.num_vars,
+            "num_clauses": cnf.num_clauses,
+            "transform_time": transform_time,
+        }, args.json)
+    return 0
+
+
+def cmd_bench(argv: list[str]) -> int:
+    # The sweep runner keeps its own parser; ``repro bench`` simply forwards
+    # so there is one front door but no duplicated flag definitions.
+    from repro.runner.cli import main as runner_main
+
+    return runner_main(argv)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro import __version__
+
+    if args.file is None:
+        print(f"repro {__version__}")
+        print(f"pipelines: {', '.join(PIPELINES)}")
+        print(f"synthesis operations: {', '.join(OPERATIONS)}")
+        print("backends:")
+        for name, ok in available_backends().items():
+            marker = "available" if ok else "not found"
+            print(f"  {name:<10s} {marker}")
+        print("env: REPRO_SOLVER_<NAME> overrides an external solver binary; "
+              "REPRO_BENCH_JOBS / REPRO_BENCH_CACHE / REPRO_BENCH_BACKEND "
+              "configure the benchmark harnesses")
+        return 0
+
+    kind, instance = load_input(args.file)
+    print(f"{args.file}: {'DIMACS CNF' if kind == 'cnf' else 'AIGER circuit'}")
+    if kind == "cnf":
+        lengths = [len(clause) for clause in instance.clauses]
+        print(f"  variables: {instance.num_vars}")
+        print(f"  clauses:   {instance.num_clauses}")
+        if lengths:
+            print(f"  clause length: min {min(lengths)}, "
+                  f"max {max(lengths)}, "
+                  f"mean {sum(lengths) / len(lengths):.2f}")
+    else:
+        print(f"  primary inputs:  {instance.num_pis}")
+        print(f"  primary outputs: {instance.num_pos}")
+        print(f"  AND gates:       {instance.num_ands}")
+        print(f"  logic depth:     {instance.depth()}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Parser
+
+
+def _add_solve_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pipeline", default="ours",
+                        help="preprocessing pipeline for circuit inputs: "
+                             "baseline, comp or ours (default: ours)")
+    parser.add_argument("--recipe", default=None,
+                        help="explicit synthesis recipe for comp/ours, "
+                             "comma-separated (e.g. balance,rewrite,resub)")
+    parser.add_argument("--lut-size", type=int, default=None,
+                        help="LUT size for the comp/ours mappers (default: 4)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write a JSON report to PATH ('-' = stdout)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the 'c' comment lines")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EDA-driven Circuit-SAT preprocessing and solving "
+                    "(reproduction of Shi et al., DAC 2025).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser(
+        "solve", help="solve a .cnf/.aag/.aig file",
+        description="Solve a DIMACS CNF or AIGER circuit file.  Circuits "
+                    "are preprocessed through the selected pipeline first; "
+                    "output follows the SAT-competition conventions "
+                    "(exit code 10 = SAT, 20 = UNSAT, 0 = unknown).")
+    solve.add_argument("file", help="input file (.cnf, .aag or .aig)")
+    _add_solve_flags(solve)
+    solve.add_argument("--backend", default="internal",
+                       choices=sorted(set(BACKEND_NAMES)),
+                       help="solver backend: the built-in CDCL solver or a "
+                            "real binary on PATH (default: internal)")
+    solve.add_argument("--solver-binary", default=None, metavar="PATH",
+                       help="explicit executable for the external backend")
+    solve.add_argument("--config", default="kissat_like",
+                       choices=sorted(CONFIG_PRESETS),
+                       help="internal-solver preset (default: kissat_like)")
+    solve.add_argument("--time-limit", type=float, default=None, metavar="S",
+                       help="soft solver time limit in seconds")
+    solve.add_argument("--max-conflicts", type=int, default=None,
+                       help="internal-solver conflict budget")
+    solve.add_argument("--max-decisions", type=int, default=None,
+                       help="internal-solver decision budget")
+    solve.add_argument("--no-model", action="store_true",
+                       help="suppress the 'v' model lines on SAT")
+    solve.set_defaults(handler=cmd_solve)
+
+    preprocess = subparsers.add_parser(
+        "preprocess", help="run a pipeline and write the DIMACS CNF",
+        description="Preprocess an AIGER circuit through a named pipeline "
+                    "and write the resulting DIMACS CNF without solving it.")
+    preprocess.add_argument("file", help="input circuit (.aag or .aig)")
+    preprocess.add_argument("-o", "--output", default=None,
+                            help="output CNF path (default: "
+                                 "<input stem>.<pipeline>.cnf)")
+    _add_solve_flags(preprocess)
+    preprocess.set_defaults(handler=cmd_preprocess)
+
+    # ``bench`` is dispatched before parsing (argparse.REMAINDER cannot
+    # forward leading options); this stub only makes it appear in --help.
+    subparsers.add_parser(
+        "bench", help="run a benchmark sweep (see 'repro bench --help')",
+        description="Forward to the parallel sweep runner "
+                    "(python -m repro.runner).",
+        add_help=False)
+
+    info = subparsers.add_parser(
+        "info", help="inspect a file, or list pipelines and backends",
+        description="With FILE: print its format and size statistics.  "
+                    "Without: print the library version, the registered "
+                    "pipelines and which solver backends are available.")
+    info.add_argument("file", nargs="?", default=None,
+                      help="optional .cnf/.aag/.aig file to inspect")
+    info.set_defaults(handler=cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        return cmd_bench(argv[1:])
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

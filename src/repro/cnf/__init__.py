@@ -10,6 +10,12 @@ Two encoders are provided, matching the two pipelines of the paper:
 """
 
 from repro.cnf.cnf import Cnf, read_dimacs, write_dimacs
+from repro.cnf.dimacs import (
+    parse_dimacs,
+    read_dimacs_file,
+    render_dimacs,
+    write_dimacs_file,
+)
 from repro.cnf.lut2cnf import lut_netlist_to_cnf
 from repro.cnf.tseitin import tseitin_encode
 
@@ -17,6 +23,10 @@ __all__ = [
     "Cnf",
     "read_dimacs",
     "write_dimacs",
+    "parse_dimacs",
+    "read_dimacs_file",
+    "render_dimacs",
+    "write_dimacs_file",
     "tseitin_encode",
     "lut_netlist_to_cnf",
 ]

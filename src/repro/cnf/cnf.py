@@ -86,56 +86,32 @@ class Cnf:
 
 
 def write_dimacs(cnf: Cnf, path: str | Path | None = None) -> str:
-    """Serialise ``cnf`` to DIMACS text; optionally also write it to ``path``."""
-    lines = [f"p cnf {cnf.num_vars} {cnf.num_clauses}"]
-    for clause in cnf.clauses:
-        lines.append(" ".join(str(literal) for literal in clause) + " 0")
-    text = "\n".join(lines) + "\n"
+    """Serialise ``cnf`` to DIMACS text; optionally also write it to ``path``.
+
+    Thin wrapper over :func:`repro.cnf.dimacs.render_dimacs`, kept for its
+    historical name in the package API.
+    """
+    from repro.cnf.dimacs import render_dimacs
+
+    text = render_dimacs(cnf)
     if path is not None:
         Path(path).write_text(text)
     return text
 
 
-def read_dimacs(source: str | Path) -> Cnf:
-    """Parse DIMACS text (or a file path) into a :class:`Cnf`."""
+def read_dimacs(source: str | Path, strict: bool = True) -> Cnf:
+    """Parse DIMACS text (or a file path) into a :class:`Cnf`.
+
+    ``source`` is treated as a path when it is a :class:`~pathlib.Path` or a
+    single-line string ending in ``.cnf``; anything else is parsed as DIMACS
+    text.  The actual parser lives in :mod:`repro.cnf.dimacs`; ``strict``
+    follows its rules.
+    """
+    from repro.cnf.dimacs import parse_dimacs
+
     if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source
                                     and source.endswith(".cnf")):
         text = Path(source).read_text()
     else:
         text = str(source)
-    num_vars = None
-    declared_clauses = None
-    cnf = None
-    pending: list[int] = []
-    for raw_line in text.splitlines():
-        line = raw_line.strip()
-        if not line or line.startswith("c"):
-            continue
-        if line.startswith("p"):
-            parts = line.split()
-            if len(parts) != 4 or parts[1] != "cnf":
-                raise CnfError(f"malformed problem line: {line!r}")
-            num_vars = int(parts[2])
-            declared_clauses = int(parts[3])
-            cnf = Cnf(num_vars)
-            continue
-        if cnf is None:
-            raise CnfError("clause encountered before the problem line")
-        for token in line.split():
-            literal = int(token)
-            if literal == 0:
-                if pending:
-                    cnf.add_clause(pending)
-                    pending = []
-            else:
-                pending.append(literal)
-    if cnf is None:
-        raise CnfError("missing problem line")
-    if pending:
-        cnf.add_clause(pending)
-    if declared_clauses is not None and cnf.num_clauses != declared_clauses:
-        raise CnfError(
-            f"problem line declares {declared_clauses} clauses but "
-            f"{cnf.num_clauses} were read"
-        )
-    return cnf
+    return parse_dimacs(text, strict=strict)

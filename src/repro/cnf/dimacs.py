@@ -1,0 +1,166 @@
+"""DIMACS CNF reader and writer (the file interface of the SAT world).
+
+DIMACS is the exchange format every competition solver — including the
+paper's evaluation solvers Kissat and CaDiCaL — reads and writes: a header
+``p cnf <vars> <clauses>`` followed by whitespace-separated signed literals,
+each clause terminated by ``0``.  This module is the canonical DIMACS
+implementation of the library; it round-trips losslessly with
+:class:`repro.cnf.cnf.Cnf` and is what the ``repro`` CLI and the subprocess
+solver backends (:mod:`repro.sat.backends`) speak on disk.
+
+The parser is a token-stream parser, so it accepts everything real-world
+files throw at it: clauses spanning several lines, several clauses per line,
+comment lines anywhere (not only before the header), blank lines, CRLF
+endings and the SATLIB ``%`` end-of-file marker.  An *empty clause* (a bare
+``0``) is falsum — the formula is unsatisfiable by definition — and is
+materialised as a contradictory unit pair, since :class:`Cnf` cannot store a
+zero-literal clause.  Two strictness levels are offered:
+
+* ``strict=True`` (default, matching the historical behaviour of
+  :func:`repro.cnf.cnf.read_dimacs`) requires a well-formed header whose
+  variable and clause counts match the body;
+* ``strict=False`` additionally tolerates a missing header (variable count
+  inferred from the literals), a header whose counts disagree with the body
+  (the body wins) and an unterminated final clause — the sloppiness commonly
+  found in generated benchmark files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cnf.cnf import Cnf
+from repro.errors import CnfError
+
+__all__ = [
+    "parse_dimacs",
+    "read_dimacs_file",
+    "render_dimacs",
+    "write_dimacs_file",
+]
+
+
+def render_dimacs(cnf: Cnf, comments: list[str] | tuple[str, ...] = ()) -> str:
+    """Serialise ``cnf`` into DIMACS text.
+
+    ``comments`` become ``c`` lines above the problem line — the CLI uses
+    them to stamp provenance (source file, pipeline, recipe) into the output
+    so a preprocessed formula is self-describing.
+    """
+    lines = [f"c {comment}" if comment else "c" for comment in comments]
+    lines.append(f"p cnf {cnf.num_vars} {cnf.num_clauses}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(literal) for literal in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs_file(cnf: Cnf, path: str | Path,
+                      comments: list[str] | tuple[str, ...] = ()) -> Path:
+    """Write ``cnf`` to ``path`` in DIMACS format; returns the path."""
+    path = Path(path)
+    path.write_text(render_dimacs(cnf, comments=comments))
+    return path
+
+
+def parse_dimacs(text: str, strict: bool = True) -> Cnf:
+    """Parse DIMACS ``text`` into a :class:`Cnf`.
+
+    See the module docstring for the tolerance rules and what ``strict``
+    controls.  Raises :class:`repro.errors.CnfError` on malformed input.
+    """
+    declared_vars: int | None = None
+    declared_clauses: int | None = None
+    clauses: list[list[int]] = []
+    pending: list[int] = []
+    max_var = 0
+    empty_clauses = 0
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("%"):
+            # SATLIB end-of-file marker; everything after it is padding.
+            break
+        if line.startswith("p"):
+            if declared_vars is not None:
+                raise CnfError(f"duplicate problem line: {line!r}")
+            if clauses or pending:
+                raise CnfError("problem line must precede all clauses")
+            parts = line.split()
+            if len(parts) != 4 or parts[0] != "p" or parts[1] != "cnf":
+                raise CnfError(f"malformed problem line: {line!r}")
+            try:
+                declared_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise CnfError(f"non-numeric problem line counts: {line!r}") from exc
+            if declared_vars < 0 or declared_clauses < 0:
+                raise CnfError(f"negative counts in problem line: {line!r}")
+            continue
+        if declared_vars is None and strict:
+            raise CnfError("clause encountered before the problem line")
+        for token in line.split():
+            try:
+                literal = int(token)
+            except ValueError as exc:
+                raise CnfError(f"invalid DIMACS token {token!r}") from exc
+            if literal == 0:
+                if pending:
+                    clauses.append(pending)
+                    pending = []
+                else:
+                    # A bare 0 is an *empty clause* — falsum; the whole
+                    # formula is unsatisfiable.  Count it (it participates
+                    # in the header's clause count) and materialise it
+                    # below as a contradictory unit pair, since
+                    # :class:`Cnf` cannot hold a zero-literal clause.
+                    empty_clauses += 1
+            else:
+                max_var = max(max_var, abs(literal))
+                pending.append(literal)
+
+    if pending:
+        # A final clause without its 0 terminator: common in generated
+        # files, accepted at both strictness levels (as the historical
+        # parser did).
+        clauses.append(pending)
+
+    if declared_vars is None:
+        if strict:
+            raise CnfError("missing problem line")
+        num_vars = max_var
+    elif max_var > declared_vars:
+        if strict:
+            raise CnfError(
+                f"literal references variable {max_var} beyond the declared "
+                f"{declared_vars} variables"
+            )
+        num_vars = max_var
+    else:
+        num_vars = declared_vars
+
+    clauses_read = len(clauses) + empty_clauses
+    if (strict and declared_clauses is not None
+            and clauses_read != declared_clauses):
+        raise CnfError(
+            f"problem line declares {declared_clauses} clauses but "
+            f"{clauses_read} were read"
+        )
+
+    if empty_clauses and num_vars == 0:
+        num_vars = 1
+    cnf = Cnf(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    if empty_clauses:
+        # One contradictory unit pair preserves the falsum semantics of the
+        # empty clause(s) in a representation Cnf can hold.
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+    return cnf
+
+
+def read_dimacs_file(path: str | Path, strict: bool = True) -> Cnf:
+    """Read a DIMACS file from ``path``."""
+    return parse_dimacs(Path(path).read_text(), strict=strict)

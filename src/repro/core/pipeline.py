@@ -28,8 +28,9 @@ from repro.cnf.cnf import Cnf
 from repro.cnf.tseitin import tseitin_encode
 from repro.core.preprocess import Preprocessor
 from repro.core.results import InstanceRun, RunSet
+from repro.sat.backends import SolverBackend, resolve_backend
 from repro.sat.configs import SolverConfig
-from repro.sat.solver import SolveResult, solve_cnf
+from repro.sat.solver import SolveResult
 from repro.synthesis.recipe import COMPRESS2_RECIPE
 
 __all__ = [
@@ -104,13 +105,20 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
                  time_limit: float | None = None,
                  max_conflicts: int | None = None,
                  max_decisions: int | None = None,
-                 pipeline_kwargs: dict | None = None) -> InstanceRun:
+                 pipeline_kwargs: dict | None = None,
+                 backend: str | SolverBackend | None = None) -> InstanceRun:
     """Preprocess ``instance_aig`` with ``pipeline`` and solve the result.
 
     ``pipeline_kwargs`` are forwarded to the pipeline's encoder, so named
     pipelines can be customised per call (e.g. ``{"lut_size": 6}`` or
     ``{"recipe": [...]}`` for "Ours"/"Comp.") instead of only running with
     the zero-argument defaults of :data:`PIPELINES`.
+
+    ``backend`` selects the solver that consumes the preprocessed CNF: the
+    default (``None`` / ``"internal"``) is the built-in CDCL solver; a name
+    like ``"kissat"`` dispatches to the real external binary through
+    :mod:`repro.sat.backends` (raising
+    :class:`repro.errors.BackendUnavailableError` when it is not installed).
     """
     if isinstance(pipeline, str):
         encode = PIPELINES[pipeline]
@@ -119,7 +127,7 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
         encode = pipeline
         pipeline_name = getattr(pipeline, "__name__", "custom")
     cnf, transform_time = encode(instance_aig, **(pipeline_kwargs or {}))
-    result: SolveResult = solve_cnf(
+    result: SolveResult = resolve_backend(backend).solve(
         cnf, config=config, time_limit=time_limit,
         max_conflicts=max_conflicts, max_decisions=max_decisions,
     )

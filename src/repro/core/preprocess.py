@@ -40,6 +40,23 @@ class PreprocessResult:
     preprocess_time: float
     mapping_cost: float
 
+    def pi_assignment(self, model: dict[int, bool]) -> list[bool]:
+        """Map a solver model back to primary-input values of the circuit.
+
+        The LUT-to-CNF encoder keys ``cnf.var_map`` by *netlist node id*
+        (0-based), not by AIG variable, and synthesis operations preserve PI
+        order — this helper hides both facts.  The returned list is indexed
+        by PI position and valid for the original input AIG as well as
+        :attr:`final_aig` (e.g. a SAT model of a miter becomes the
+        counterexample input pattern).
+        """
+        values = []
+        for node_id in self.netlist.pis:
+            cnf_var = self.cnf.var_map.get(node_id)
+            values.append(bool(model[cnf_var]) if cnf_var is not None
+                          else False)
+        return values
+
 
 @dataclass
 class Preprocessor:

@@ -39,6 +39,15 @@ class SolverError(ReproError):
     """Raised when the SAT solver is misused (e.g. bad literal, bad budget)."""
 
 
+class BackendError(SolverError):
+    """Raised when a solver backend fails (bad output, crashed process)."""
+
+
+class BackendUnavailableError(BackendError):
+    """Raised when a requested solver backend cannot run on this machine
+    (typically: the external solver binary is not on PATH)."""
+
+
 class RlError(ReproError):
     """Raised for invalid reinforcement-learning configuration or usage."""
 

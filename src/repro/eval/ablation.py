@@ -54,14 +54,16 @@ def run_ablation(instances: list[CsatInstance],
                  random_seed: int = 0,
                  jobs: int = 1,
                  store: ResultStore | None = None,
-                 hard_timeout: float | None = None) -> AblationResult:
+                 hard_timeout: float | None = None,
+                 backend: str = "internal") -> AblationResult:
     """Run the Fig. 5 ablation over ``instances``.
 
     ``agent`` is the trained agent used by the "Ours" and "C. Mapper"
     settings; when ``None`` the default fixed recipe of
     :class:`repro.core.preprocess.Preprocessor` is used instead (the relative
     comparison between settings is preserved either way).  ``jobs`` and
-    ``store`` configure the underlying batch runner.
+    ``store`` configure the underlying batch runner; ``backend`` names the
+    solver backend (:mod:`repro.sat.backends`).
     """
     random_agent = RandomAgent(seed=random_seed)
     recipe_env = SynthesisEnv(max_steps=max_steps)
@@ -89,6 +91,7 @@ def run_ablation(instances: list[CsatInstance],
                 pipeline_kwargs={"recipe": list(recipe)},
                 config=config, time_limit=time_limit,
                 hard_timeout=hard_timeout, group=setting,
+                backend=backend,
             ))
 
     report = BatchRunner(jobs=jobs, store=store).run(tasks)

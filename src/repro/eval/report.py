@@ -1,4 +1,13 @@
-"""Plain-text rendering helpers for experiment results."""
+"""Plain-text rendering of tables and cactus plots (the paper's figures).
+
+The evaluation harnesses render their aggregates through two helpers:
+:func:`format_table` produces the fixed-width comparison tables (Table I and
+the totals rows of Fig. 4 / Fig. 5), and :func:`format_cactus` renders the
+cactus-plot series of Fig. 4 — instances solved versus cumulative runtime —
+as an ASCII approximation, since this reproduction reports text rather than
+rendered graphics.  Everything here is presentation only; the numbers come
+from :mod:`repro.core.results` aggregation.
+"""
 
 from __future__ import annotations
 

@@ -71,7 +71,8 @@ def run_comparison(instances: list[CsatInstance],
                    pipeline_kwargs: dict[str, dict] | None = None,
                    jobs: int = 1,
                    store: ResultStore | None = None,
-                   hard_timeout: float | None = None) -> RuntimeComparison:
+                   hard_timeout: float | None = None,
+                   backend: str = "internal") -> RuntimeComparison:
     """Run ``pipelines`` (default: Baseline, Comp., Ours) over ``instances``.
 
     ``pipeline_kwargs`` optionally maps a pipeline name to extra keyword
@@ -79,7 +80,10 @@ def run_comparison(instances: list[CsatInstance],
     materialised into explicit recipes per instance so tasks stay hashable;
     the rollout time is counted toward that run's transform time, exactly as
     when the agent runs inside Algorithm 1).  ``jobs`` and ``store``
-    configure the underlying batch runner.
+    configure the underlying batch runner.  ``backend`` selects the solver
+    backend by name (:mod:`repro.sat.backends`): the default is the built-in
+    CDCL solver, ``"kissat"`` / ``"cadical"`` dispatch to the real binaries
+    so Fig. 4 can be regenerated against the paper's actual solvers.
     """
     if pipelines is None:
         pipelines = ["Baseline", "Comp.", "Ours"]
@@ -97,6 +101,7 @@ def run_comparison(instances: list[CsatInstance],
             tasks.append(Task.from_instance(
                 instance, name, pipeline_kwargs=extra, config=config,
                 time_limit=time_limit, hard_timeout=hard_timeout,
+                backend=backend,
             ))
 
     report = BatchRunner(jobs=jobs, store=store).run(tasks)

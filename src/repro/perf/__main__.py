@@ -1,4 +1,9 @@
-"""Module entry point for ``python -m repro.perf``."""
+"""Entry point for ``python -m repro.perf`` — the micro-benchmark suite.
+
+Runs the seeded solver/synthesis hot-path benchmarks and writes
+``BENCH_perf.json``; see :mod:`repro.perf.cli` for the flags and
+:mod:`repro.perf.suite` for the workload definitions.
+"""
 
 import sys
 

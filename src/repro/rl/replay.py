@@ -1,4 +1,11 @@
-"""Experience replay buffer for DQN training."""
+"""Experience replay buffer for DQN training (Sec. III-B of the paper).
+
+The agent stores one :class:`Transition` — state, action, reward, next
+state, done flag — per synthesis step of an episode and samples uniform
+random mini-batches during optimisation, decorrelating consecutive recipe
+steps exactly as in the standard DQN recipe the paper follows.  The buffer
+is a fixed-capacity ring: once full, new transitions overwrite the oldest.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,8 @@
-"""Entry point for ``python -m repro.runner``."""
+"""Entry point for ``python -m repro.runner`` — the parallel sweep runner.
+
+Equivalent to ``repro bench``; see :mod:`repro.runner.cli` for the flags and
+:mod:`repro.runner` for the underlying batch-execution machinery.
+"""
 
 from repro.runner.cli import main
 

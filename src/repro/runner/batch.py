@@ -96,6 +96,7 @@ def execute_task(task: Task) -> InstanceRun:
                 config=config,
                 time_limit=task.time_limit,
                 pipeline_kwargs=task.pipeline_kwargs,
+                backend=task.backend,
             )
         finally:
             disarm()

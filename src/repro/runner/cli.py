@@ -25,6 +25,7 @@ from repro.core.pipeline import PIPELINES
 from repro.runner.batch import BatchRunner
 from repro.runner.store import ResultStore
 from repro.runner.task import Task
+from repro.sat.backends import BACKEND_NAMES, get_backend, is_internal
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
 
 #: Suite name -> (generator, default seed); sizes come from ``--size``.
@@ -65,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--solver", choices=sorted(SOLVER_PRESETS),
                         default="kissat_like",
                         help="solver preset (default: kissat_like)")
+    parser.add_argument("--backend", choices=sorted(set(BACKEND_NAMES)),
+                        default="internal",
+                        help="solver backend: the built-in CDCL solver "
+                             "(internal) or a real external binary found on "
+                             "PATH (default: internal)")
     parser.add_argument("--time-limit", type=float, default=60.0,
                         help="per-instance soft solver limit in seconds "
                              "(default: 60; <= 0 disables)")
@@ -84,7 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
 def build_tasks(instances: list[CsatInstance], pipelines: list[str],
                 config: SolverConfig, time_limit: float | None,
                 hard_timeout: float | None,
-                lut_size: int | None = None) -> list[Task]:
+                lut_size: int | None = None,
+                backend: str = "internal") -> list[Task]:
     """Expand a suite x pipeline grid into runner tasks."""
     tasks = []
     for instance in instances:
@@ -95,6 +102,7 @@ def build_tasks(instances: list[CsatInstance], pipelines: list[str],
             tasks.append(Task.from_instance(
                 instance, name, pipeline_kwargs=kwargs, config=config,
                 time_limit=time_limit, hard_timeout=hard_timeout,
+                backend=backend,
             ))
     return tasks
 
@@ -108,14 +116,23 @@ def main(argv: list[str] | None = None) -> int:
     config = SOLVER_PRESETS[args.solver]()
     time_limit = args.time_limit if args.time_limit and args.time_limit > 0 else None
 
+    if not is_internal(args.backend):
+        probe = get_backend(args.backend)
+        if not probe.available():
+            print(f"error: solver backend {args.backend!r} is not available "
+                  f"on this machine (no binary on PATH)")
+            return 2
+
     store_path = args.store
     if store_path is None:
+        suffix = "" if is_internal(args.backend) else f"_{args.backend}"
         store_path = Path("results") / (
-            f"{args.suite}_size{args.size}_seed{seed}_{args.solver}.jsonl")
+            f"{args.suite}_size{args.size}_seed{seed}_{args.solver}{suffix}.jsonl")
     store = ResultStore(store_path)
 
     tasks = build_tasks(instances, args.pipelines, config, time_limit,
-                        args.hard_timeout, lut_size=args.lut_size)
+                        args.hard_timeout, lut_size=args.lut_size,
+                        backend=args.backend)
     print(f"Suite {args.suite!r}: {len(instances)} instances x "
           f"{len(args.pipelines)} pipelines = {len(tasks)} tasks "
           f"({args.jobs} jobs, store {store_path})")

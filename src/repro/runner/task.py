@@ -44,7 +44,9 @@ class Task:
     the wall-clock budget for the whole task (transform + solve), enforced by
     the runner with a worker-side alarm.  ``group`` relabels the run for
     aggregation (e.g. the Fig. 5 setting name) without affecting the
-    fingerprint of the underlying computation.
+    fingerprint of the underlying computation.  ``backend`` names the solver
+    backend (:mod:`repro.sat.backends`) — backends travel by name, never as
+    objects, so tasks stay picklable and JSON-stable.
     """
 
     instance_name: str
@@ -55,6 +57,7 @@ class Task:
     time_limit: float | None = None
     hard_timeout: float | None = None
     group: str = ""
+    backend: str = "internal"
 
     _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
@@ -64,13 +67,13 @@ class Task:
                       config: SolverConfig | None = None,
                       time_limit: float | None = None,
                       hard_timeout: float | None = None,
-                      group: str = "") -> "Task":
+                      group: str = "", backend: str = "internal") -> "Task":
         """Build a task from a generated suite instance."""
         return cls.from_aig(instance.aig, pipeline,
                             instance_name=instance.name,
                             pipeline_kwargs=pipeline_kwargs, config=config,
                             time_limit=time_limit, hard_timeout=hard_timeout,
-                            group=group)
+                            group=group, backend=backend)
 
     @classmethod
     def from_aig(cls, aig: AIG, pipeline: str, instance_name: str = "",
@@ -78,7 +81,7 @@ class Task:
                  config: SolverConfig | None = None,
                  time_limit: float | None = None,
                  hard_timeout: float | None = None,
-                 group: str = "") -> "Task":
+                 group: str = "", backend: str = "internal") -> "Task":
         """Build a task from an in-memory AIG (serialised on the spot).
 
         Serialisation normalises the circuit: AIGER requires dense variable
@@ -97,6 +100,7 @@ class Task:
             time_limit=time_limit,
             hard_timeout=hard_timeout,
             group=group,
+            backend=backend,
         )
 
     @property
@@ -132,6 +136,11 @@ class Task:
                 "time_limit": self.time_limit,
                 "hard_timeout": self.hard_timeout,
             }
+            if self.backend != "internal":
+                # The default backend is omitted so fingerprints (and hence
+                # result-store caches) from before backends existed stay
+                # valid; a non-default backend is a different computation.
+                payload["backend"] = self.backend
             try:
                 text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
             except TypeError as error:

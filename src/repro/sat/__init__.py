@@ -10,9 +10,21 @@ complexity proxy).
 
 Two presets, :func:`repro.sat.configs.kissat_like` and
 :func:`repro.sat.configs.cadical_like`, stand in for the two solvers used in
-the paper's evaluation (Fig. 4a and Fig. 4c).
+the paper's evaluation (Fig. 4a and Fig. 4c).  When the *real* solvers are
+installed, :mod:`repro.sat.backends` dispatches to them through DIMACS
+subprocesses instead — ``get_backend("kissat")`` et al. — behind the same
+:class:`repro.sat.solver.SolveResult` interface.
 """
 
+from repro.sat.backends import (
+    BACKEND_NAMES,
+    InternalBackend,
+    SolverBackend,
+    SubprocessBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
 from repro.sat.dpll import dpll_solve
 from repro.sat.solver import CdclSolver, SolveResult, solve_cnf
@@ -27,4 +39,11 @@ __all__ = [
     "kissat_like",
     "cadical_like",
     "dpll_solve",
+    "SolverBackend",
+    "InternalBackend",
+    "SubprocessBackend",
+    "BACKEND_NAMES",
+    "get_backend",
+    "resolve_backend",
+    "available_backends",
 ]

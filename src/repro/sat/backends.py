@@ -1,0 +1,346 @@
+"""Pluggable solver backends: the built-in CDCL or a real external solver.
+
+The paper's evaluation (Fig. 4) runs Kissat 4.0.0 and CaDiCaL 2.0.0; the
+presets in :mod:`repro.sat.configs` only *emulate* their behaviour with the
+built-in pure-Python CDCL solver.  This module closes that gap: a
+:class:`SolverBackend` is anything that can solve a :class:`repro.cnf.Cnf`
+and return a :class:`repro.sat.solver.SolveResult`, and two implementations
+are provided:
+
+* :class:`InternalBackend` — the built-in :class:`repro.sat.solver.CdclSolver`
+  (the default everywhere; fully deterministic and dependency-free);
+* :class:`SubprocessBackend` — shells out to a competition solver binary
+  (``kissat``, ``cadical``, ``minisat`` or any SAT-competition-conformant
+  executable) via a temporary DIMACS file, parses the standard
+  ``s``/``v`` output lines back into a unified :class:`SolveResult`, and
+  best-effort-recovers the decision/conflict/propagation counters from the
+  solver's statistics output so the paper's "variable branching times"
+  metric stays populated.
+
+Backends are addressed by name through :func:`get_backend`; external
+binaries are auto-detected on PATH and a missing one raises a clean
+:class:`repro.errors.BackendUnavailableError`.  Everything above this layer
+(:func:`repro.core.pipeline.run_pipeline`, :class:`repro.runner.Task`, the
+benchmarks, the ``repro`` CLI) selects a backend by this name, so Fig. 4 can
+be reproduced against the genuine solvers whenever they are installed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.cnf.cnf import Cnf
+from repro.errors import BackendError, BackendUnavailableError
+from repro.sat.configs import SolverConfig
+from repro.sat.solver import SolveResult, solve_cnf
+from repro.sat.stats import SolverStats
+
+__all__ = [
+    "SolverBackend",
+    "InternalBackend",
+    "SubprocessBackend",
+    "BACKEND_NAMES",
+    "INTERNAL_NAMES",
+    "DEFAULT_BACKEND",
+    "is_internal",
+    "get_backend",
+    "resolve_backend",
+    "ensure_available",
+    "available_backends",
+]
+
+#: The implicit backend when none is requested: the built-in CDCL solver.
+DEFAULT_BACKEND = "internal"
+
+#: SAT-competition exit codes.
+SAT_EXIT_CODE = 10
+UNSAT_EXIT_CODE = 20
+
+#: Extra wall-clock grace granted on top of the soft limit before the
+#: subprocess is killed outright (the solver's own limit should fire first).
+_KILL_GRACE = 5.0
+
+#: Command-line templates for the known external solvers: how to pass the
+#: time limit.  ``{limit}`` is the whole-second budget.  Solvers absent from
+#: this table get no limit flag and rely on the subprocess kill alone.
+_TIME_LIMIT_ARGS: dict[str, tuple[str, ...]] = {
+    "kissat": ("--time={limit}",),
+    "cadical": ("-t", "{limit}"),
+    "minisat": ("-cpu-lim={limit}",),
+}
+
+#: Best-effort statistics scraping from solver output.  Both Kissat and
+#: CaDiCaL print ``c <name>: <count> ...`` lines; MiniSat prints
+#: ``<name>             : <count> ...``.
+_STATS_PATTERN = re.compile(
+    r"^c?\s*(decisions|conflicts|propagations|restarts)\s*:?\s+(\d+)",
+    re.IGNORECASE,
+)
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """Anything that can solve a CNF and report a unified result."""
+
+    name: str
+
+    def available(self) -> bool:
+        """Whether this backend can run on the current machine."""
+        ...
+
+    def solve(self, cnf: Cnf, config: SolverConfig | None = None,
+              time_limit: float | None = None,
+              max_conflicts: int | None = None,
+              max_decisions: int | None = None) -> SolveResult:
+        """Solve ``cnf`` and return a :class:`SolveResult`."""
+        ...
+
+
+class InternalBackend:
+    """The built-in pure-Python CDCL solver (:func:`repro.sat.solver.solve_cnf`)."""
+
+    name = "internal"
+
+    def available(self) -> bool:
+        return True
+
+    def solve(self, cnf: Cnf, config: SolverConfig | None = None,
+              time_limit: float | None = None,
+              max_conflicts: int | None = None,
+              max_decisions: int | None = None) -> SolveResult:
+        return solve_cnf(cnf, config=config, time_limit=time_limit,
+                         max_conflicts=max_conflicts,
+                         max_decisions=max_decisions)
+
+    def __repr__(self) -> str:
+        return "InternalBackend()"
+
+
+class SubprocessBackend:
+    """Dispatch to an external SAT solver binary through DIMACS files.
+
+    ``binary`` overrides auto-detection: it may be an absolute path or a
+    command name; when omitted the backend looks for ``name`` on PATH, after
+    honouring a ``REPRO_SOLVER_<NAME>`` environment variable (e.g.
+    ``REPRO_SOLVER_KISSAT=/opt/kissat/bin/kissat``).  ``extra_args`` are
+    appended to every invocation.
+
+    The protocol is the SAT-competition one: the formula travels as a
+    temporary DIMACS file, the verdict is the ``s SATISFIABLE`` /
+    ``s UNSATISFIABLE`` line (cross-checked against exit codes 10/20) and
+    the model is read from the ``v`` lines.  A solver that exceeds
+    ``time_limit`` without deciding reports ``UNKNOWN`` — exactly like the
+    internal solver's soft limit — and output that fits no convention raises
+    :class:`repro.errors.BackendError`.
+    """
+
+    def __init__(self, name: str, binary: str | None = None,
+                 extra_args: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self._binary = binary
+        self.extra_args = tuple(extra_args)
+
+    # ------------------------------------------------------------------ #
+    # Binary resolution
+
+    def resolved_binary(self) -> str | None:
+        """The executable this backend would run, or None when absent."""
+        candidate = self._binary or os.environ.get(
+            f"REPRO_SOLVER_{self.name.upper()}") or self.name
+        if os.sep in candidate:
+            return candidate if os.access(candidate, os.X_OK) else None
+        return shutil.which(candidate)
+
+    def available(self) -> bool:
+        return self.resolved_binary() is not None
+
+    def _require_binary(self) -> str:
+        binary = self.resolved_binary()
+        if binary is None:
+            raise BackendUnavailableError(
+                f"solver backend {self.name!r} is not available: no "
+                f"{self._binary or self.name!r} executable found on PATH "
+                f"(install it, or point REPRO_SOLVER_{self.name.upper()} at "
+                f"the binary)"
+            )
+        return binary
+
+    # ------------------------------------------------------------------ #
+    # Solving
+
+    def solve(self, cnf: Cnf, config: SolverConfig | None = None,
+              time_limit: float | None = None,
+              max_conflicts: int | None = None,
+              max_decisions: int | None = None) -> SolveResult:
+        """Run the external solver on ``cnf``.
+
+        ``config``, ``max_conflicts`` and ``max_decisions`` configure the
+        *internal* solver and have no external equivalent; they are accepted
+        (so backends are interchangeable) and ignored.
+        """
+        del config, max_conflicts, max_decisions
+        from repro.cnf.dimacs import render_dimacs
+
+        binary = self._require_binary()
+        command = [binary]
+        if time_limit is not None:
+            whole_seconds = max(1, int(time_limit))
+            for template in _TIME_LIMIT_ARGS.get(self.name, ()):
+                command.append(template.format(limit=whole_seconds))
+        command.extend(self.extra_args)
+
+        start = time.perf_counter()
+        with tempfile.TemporaryDirectory(prefix="repro-sat-") as workdir:
+            problem = Path(workdir) / "problem.cnf"
+            problem.write_text(render_dimacs(cnf))
+            command.append(str(problem))
+            kill_after = (time_limit + _KILL_GRACE
+                          if time_limit is not None else None)
+            try:
+                process = subprocess.run(
+                    command, capture_output=True, text=True,
+                    timeout=kill_after,
+                )
+            except subprocess.TimeoutExpired:
+                elapsed = time.perf_counter() - start
+                return SolveResult(status="UNKNOWN", model=None,
+                                   stats=SolverStats(solve_time=elapsed))
+            except OSError as exc:
+                raise BackendUnavailableError(
+                    f"solver backend {self.name!r} failed to start "
+                    f"({binary}): {exc}"
+                ) from exc
+        elapsed = time.perf_counter() - start
+        return self._parse_output(cnf, process, elapsed)
+
+    def _parse_output(self, cnf: Cnf, process: subprocess.CompletedProcess,
+                      elapsed: float) -> SolveResult:
+        status = None
+        model_literals: list[int] = []
+        stats = SolverStats(solve_time=elapsed)
+        for raw_line in process.stdout.splitlines():
+            line = raw_line.strip()
+            if line.startswith("s "):
+                verdict = line[2:].strip().upper()
+                if verdict == "SATISFIABLE":
+                    status = "SAT"
+                elif verdict == "UNSATISFIABLE":
+                    status = "UNSAT"
+                elif verdict in ("UNKNOWN", "INDETERMINATE"):
+                    status = "UNKNOWN"
+            elif line.startswith("v ") or line == "v":
+                for token in line[1:].split():
+                    try:
+                        literal = int(token)
+                    except ValueError:
+                        raise BackendError(
+                            f"solver backend {self.name!r} printed a "
+                            f"malformed model token {token!r}"
+                        ) from None
+                    if literal != 0:
+                        model_literals.append(literal)
+            else:
+                match = _STATS_PATTERN.match(line)
+                if match:
+                    setattr(stats, match.group(1).lower(), int(match.group(2)))
+
+        if status is None:
+            # MiniSat prints the verdict without the competition "s " prefix
+            # and communicates it reliably through the exit code.
+            if process.returncode == SAT_EXIT_CODE:
+                status = "SAT"
+            elif process.returncode == UNSAT_EXIT_CODE:
+                status = "UNSAT"
+            else:
+                stderr_tail = process.stderr.strip().splitlines()[-1:] or [""]
+                raise BackendError(
+                    f"solver backend {self.name!r} produced no verdict "
+                    f"(exit code {process.returncode}; last stderr line: "
+                    f"{stderr_tail[0]!r})"
+                )
+
+        if status != "SAT":
+            return SolveResult(status=status, model=None, stats=stats)
+
+        model = {var: False for var in range(1, cnf.num_vars + 1)}
+        for literal in model_literals:
+            var = abs(literal)
+            if var <= cnf.num_vars:
+                model[var] = literal > 0
+        if not cnf.evaluate(model):
+            raise BackendError(
+                f"solver backend {self.name!r} reported SAT but its model "
+                f"does not satisfy the formula"
+            )
+        return SolveResult(status="SAT", model=model, stats=stats)
+
+    def __repr__(self) -> str:
+        return f"SubprocessBackend({self.name!r}, binary={self._binary!r})"
+
+
+#: Names resolving to the built-in solver (one definition for every CLI).
+INTERNAL_NAMES = ("internal", "cdcl")
+
+#: The backend registry: every name accepted by ``--backend`` flags.
+#: ``internal`` (alias ``cdcl``) is the built-in solver; the rest are the
+#: external solvers of the paper's evaluation.
+BACKEND_NAMES = INTERNAL_NAMES + ("kissat", "cadical", "minisat")
+
+
+def is_internal(name: str) -> bool:
+    """Whether ``name`` selects the built-in solver."""
+    return name in INTERNAL_NAMES
+
+
+def get_backend(name: str, binary: str | None = None) -> SolverBackend:
+    """Build the backend called ``name``.
+
+    ``internal`` / ``cdcl`` return the built-in solver; any other name
+    returns a :class:`SubprocessBackend` for that solver binary (``binary``
+    overrides PATH lookup).  Construction never probes the machine — a
+    missing external binary only fails once the backend solves (or
+    :func:`ensure_available` is called), so backends can be configured on
+    hosts that do not have them.
+    """
+    if is_internal(name):
+        return InternalBackend()
+    return SubprocessBackend(name, binary=binary)
+
+
+def ensure_available(backend: SolverBackend) -> None:
+    """Fail fast: raise :class:`BackendUnavailableError` unless ``backend``
+    can run on this machine.
+
+    Callers that do expensive work before solving (e.g. the CLI's
+    preprocessing pipelines) probe here first so a missing binary is
+    reported before minutes of synthesis, not after.
+    """
+    if isinstance(backend, SubprocessBackend):
+        backend._require_binary()
+    elif not backend.available():
+        raise BackendUnavailableError(
+            f"solver backend {backend.name!r} is not available on this "
+            f"machine")
+
+
+def resolve_backend(backend: str | SolverBackend | None,
+                    binary: str | None = None) -> SolverBackend:
+    """Normalise a backend argument: name, instance or None (the default)."""
+    if backend is None:
+        return InternalBackend()
+    if isinstance(backend, str):
+        return get_backend(backend, binary=binary)
+    return backend
+
+
+def available_backends() -> dict[str, bool]:
+    """Availability of every registered backend name on this machine."""
+    return {name: get_backend(name).available()
+            for name in BACKEND_NAMES if name == "internal" or not is_internal(name)}

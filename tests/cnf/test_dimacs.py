@@ -1,0 +1,167 @@
+"""Tests for the canonical DIMACS parser/writer (repro.cnf.dimacs)."""
+
+import random
+
+import pytest
+
+from repro.cnf import (
+    Cnf,
+    parse_dimacs,
+    read_dimacs,
+    read_dimacs_file,
+    render_dimacs,
+    write_dimacs_file,
+)
+from repro.errors import CnfError
+
+
+def _random_cnf(seed: int, num_vars: int = 20, num_clauses: int = 60) -> Cnf:
+    rng = random.Random(seed)
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        width = rng.randint(1, 5)
+        variables = rng.sample(range(1, num_vars + 1), width)
+        cnf.add_clause([var if rng.random() < 0.5 else -var
+                        for var in variables])
+    return cnf
+
+
+class TestRoundTrip:
+    def test_parse_write_parse_identity(self):
+        for seed in range(5):
+            cnf = _random_cnf(seed)
+            once = parse_dimacs(render_dimacs(cnf))
+            twice = parse_dimacs(render_dimacs(once))
+            assert once.num_vars == cnf.num_vars == twice.num_vars
+            assert once.clauses == cnf.clauses == twice.clauses
+
+    def test_text_round_trip_is_byte_identical(self):
+        cnf = _random_cnf(7)
+        text = render_dimacs(cnf)
+        assert render_dimacs(parse_dimacs(text)) == text
+
+    def test_file_round_trip(self, tmp_path):
+        cnf = _random_cnf(3)
+        path = write_dimacs_file(cnf, tmp_path / "formula.cnf")
+        parsed = read_dimacs_file(path)
+        assert parsed.num_vars == cnf.num_vars
+        assert parsed.clauses == cnf.clauses
+
+    def test_comments_are_written_and_ignored_on_read(self, tmp_path):
+        cnf = _random_cnf(1)
+        path = write_dimacs_file(cnf, tmp_path / "c.cnf",
+                                 comments=["source: test", "", "pipeline: Ours"])
+        text = path.read_text()
+        assert text.startswith("c source: test\nc\nc pipeline: Ours\n")
+        assert read_dimacs_file(path).clauses == cnf.clauses
+
+
+class TestTolerance:
+    def test_comment_lines_anywhere(self):
+        text = ("c leading comment\n"
+                "p cnf 3 2\n"
+                "c between header and clauses\n"
+                "1 -2 0\n"
+                "c between clauses\n"
+                "2 3 0\n"
+                "c trailing\n")
+        cnf = parse_dimacs(text)
+        assert cnf.clauses == [[1, -2], [2, 3]]
+
+    def test_blank_lines_and_crlf(self):
+        text = "p cnf 2 2\r\n\r\n1 0\r\n\r\n-2 0\r\n"
+        cnf = parse_dimacs(text)
+        assert cnf.clauses == [[1], [-2]]
+
+    def test_clause_spanning_multiple_lines(self):
+        cnf = parse_dimacs("p cnf 4 1\n1 2\n3\n-4 0\n")
+        assert cnf.clauses == [[1, 2, 3, -4]]
+
+    def test_multiple_clauses_on_one_line(self):
+        cnf = parse_dimacs("p cnf 3 3\n1 0 2 0 -3 0\n")
+        assert cnf.clauses == [[1], [2], [-3]]
+
+    def test_satlib_percent_terminator(self):
+        cnf = parse_dimacs("p cnf 2 1\n1 2 0\n%\n0\n\n")
+        assert cnf.clauses == [[1, 2]]
+
+    def test_unterminated_final_clause_accepted(self):
+        cnf = parse_dimacs("p cnf 2 2\n1 0\n-1 2\n")
+        assert cnf.clauses == [[1], [-1, 2]]
+
+    def test_empty_clause_is_falsum(self):
+        # An empty clause makes the formula UNSAT; it counts toward the
+        # declared clause total and becomes a contradictory unit pair.
+        from repro.sat import solve_cnf
+
+        cnf = parse_dimacs("p cnf 1 1\n0\n")
+        assert solve_cnf(cnf).status == "UNSAT"
+        # Also with no variables declared at all, and in lenient mode
+        # without a header.
+        assert solve_cnf(parse_dimacs("p cnf 0 1\n0\n")).status == "UNSAT"
+        assert solve_cnf(parse_dimacs("0\n", strict=False)).status == "UNSAT"
+        mixed = parse_dimacs("p cnf 2 3\n1 2 0\n0\n-2 0\n")
+        assert solve_cnf(mixed).status == "UNSAT"
+
+
+class TestStrictMode:
+    def test_missing_header_raises(self):
+        with pytest.raises(CnfError, match="before the problem line"):
+            parse_dimacs("1 2 0\n")
+        with pytest.raises(CnfError, match="missing problem line"):
+            parse_dimacs("c only comments\n")
+
+    def test_clause_before_header_raises(self):
+        with pytest.raises(CnfError, match="before the problem line"):
+            parse_dimacs("1 0\np cnf 1 1\n")
+
+    def test_malformed_header_raises(self):
+        with pytest.raises(CnfError, match="malformed problem line"):
+            parse_dimacs("p dnf 2 1\n1 0\n")
+        with pytest.raises(CnfError, match="malformed problem line"):
+            parse_dimacs("p cnf 2\n1 0\n")
+
+    def test_non_numeric_header_raises(self):
+        with pytest.raises(CnfError, match="non-numeric"):
+            parse_dimacs("p cnf two 1\n1 0\n")
+
+    def test_duplicate_header_raises(self):
+        with pytest.raises(CnfError, match="duplicate problem line"):
+            parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+    def test_clause_count_mismatch_raises(self):
+        with pytest.raises(CnfError, match="declares 3 clauses"):
+            parse_dimacs("p cnf 2 3\n1 0\n2 0\n")
+
+    def test_out_of_range_literal_raises(self):
+        with pytest.raises(CnfError, match="beyond the declared"):
+            parse_dimacs("p cnf 2 1\n1 5 0\n")
+
+    def test_garbage_token_raises(self):
+        with pytest.raises(CnfError, match="invalid DIMACS token"):
+            parse_dimacs("p cnf 2 1\n1 x 0\n")
+
+
+class TestLenientMode:
+    def test_missing_header_infers_num_vars(self):
+        cnf = parse_dimacs("1 -3 0\n2 0\n", strict=False)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [[1, -3], [2]]
+
+    def test_clause_count_mismatch_tolerated(self):
+        cnf = parse_dimacs("p cnf 2 9\n1 0\n2 0\n", strict=False)
+        assert cnf.num_clauses == 2
+
+    def test_out_of_range_literal_grows_num_vars(self):
+        cnf = parse_dimacs("p cnf 2 1\n1 7 0\n", strict=False)
+        assert cnf.num_vars == 7
+
+
+class TestBackCompatWrappers:
+    def test_read_dimacs_accepts_text_and_path(self, tmp_path):
+        cnf = _random_cnf(9)
+        text = render_dimacs(cnf)
+        assert read_dimacs(text).clauses == cnf.clauses
+        path = tmp_path / "w.cnf"
+        write_dimacs_file(cnf, path)
+        assert read_dimacs(str(path)).clauses == cnf.clauses

@@ -63,3 +63,21 @@ class TestPreprocessor:
         with_initial = Preprocessor(apply_initial_recipe=True, recipe=["resub"])
         result = with_initial.preprocess(instance)
         assert solve_cnf(result.cnf).status in ("SAT", "UNSAT")
+
+
+class TestPiAssignment:
+    def test_sat_model_maps_back_to_a_real_counterexample(self):
+        from repro.aig import evaluate
+        from repro.sat.configs import kissat_like
+
+        instance = lec_instance(ripple_carry_adder(6), equivalent=False,
+                                seed=3)
+        preprocessed = Preprocessor().preprocess(instance)
+        result = solve_cnf(preprocessed.cnf, config=kissat_like())
+        assert result.is_sat
+        assignment = preprocessed.pi_assignment(result.model)
+        assert len(assignment) == instance.num_pis
+        # The assignment is a genuine witness: it drives the miter to 1 on
+        # both the original and the transformed circuit.
+        assert any(evaluate(instance, assignment))
+        assert any(evaluate(preprocessed.final_aig, assignment))

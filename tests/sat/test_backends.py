@@ -1,0 +1,246 @@
+"""Tests for the solver-backend abstraction (repro.sat.backends).
+
+The subprocess backend is exercised against fake solver scripts that cover
+every output convention: a correct SAT answer with ``v`` model lines, an
+UNSAT answer, a solver that never terminates (timeout path), garbage output
+and a SAT claim with a bogus model.
+"""
+
+import os
+import stat
+import sys
+import textwrap
+
+import pytest
+
+from repro.cnf import Cnf
+from repro.errors import BackendError, BackendUnavailableError
+from repro.runner.batch import execute_task
+from repro.runner.task import Task
+from repro.sat.backends import (
+    BACKEND_NAMES,
+    InternalBackend,
+    SolverBackend,
+    SubprocessBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.benchgen import adder_equivalence_miter
+
+
+def _simple_sat_cnf() -> Cnf:
+    cnf = Cnf(3)
+    cnf.add_clause([1, 2])
+    cnf.add_clause([-1, 3])
+    cnf.add_clause([2, 3])
+    return cnf
+
+
+def _simple_unsat_cnf() -> Cnf:
+    cnf = Cnf(1)
+    cnf.add_clause([1])
+    cnf.add_clause([-1])
+    return cnf
+
+
+def _fake_solver(tmp_path, name: str, body: str) -> str:
+    """Write an executable fake solver script and return its path."""
+    script = tmp_path / name
+    script.write_text(f"#!{sys.executable}\n" + textwrap.dedent(body))
+    script.chmod(script.stat().st_mode | stat.S_IXUSR)
+    return str(script)
+
+
+@pytest.fixture
+def sat_solver(tmp_path):
+    """A fake solver that answers SAT with the all-true model."""
+    return _fake_solver(tmp_path, "fake_sat.py", """\
+        import sys
+        path = [a for a in sys.argv[1:] if not a.startswith("-")][0]
+        num_vars = 0
+        for line in open(path):
+            if line.startswith("p cnf"):
+                num_vars = int(line.split()[2])
+                break
+        print("c fake solver")
+        print("c decisions: 42")
+        print("c conflicts: 17")
+        print("c propagations: 1234")
+        print("s SATISFIABLE")
+        print("v " + " ".join(str(v) for v in range(1, num_vars + 1)) + " 0")
+        sys.exit(10)
+        """)
+
+
+@pytest.fixture
+def unsat_solver(tmp_path):
+    return _fake_solver(tmp_path, "fake_unsat.py", """\
+        import sys
+        print("s UNSATISFIABLE")
+        sys.exit(20)
+        """)
+
+
+@pytest.fixture
+def hanging_solver(tmp_path):
+    return _fake_solver(tmp_path, "fake_hang.py", """\
+        import time
+        time.sleep(600)
+        """)
+
+
+@pytest.fixture
+def garbage_solver(tmp_path):
+    return _fake_solver(tmp_path, "fake_garbage.py", """\
+        import sys
+        print("segmentation fault (core dumped)")
+        sys.exit(1)
+        """)
+
+
+@pytest.fixture
+def lying_solver(tmp_path):
+    """Claims SAT but emits a model violating the formula."""
+    return _fake_solver(tmp_path, "fake_liar.py", """\
+        import sys
+        print("s SATISFIABLE")
+        print("v -1 -2 -3 0")
+        sys.exit(10)
+        """)
+
+
+class TestInternalBackend:
+    def test_solves_sat_and_unsat(self):
+        backend = InternalBackend()
+        assert backend.available()
+        assert backend.solve(_simple_sat_cnf()).status == "SAT"
+        assert backend.solve(_simple_unsat_cnf()).status == "UNSAT"
+
+    def test_registry_aliases(self):
+        assert isinstance(get_backend("internal"), InternalBackend)
+        assert isinstance(get_backend("cdcl"), InternalBackend)
+        assert isinstance(get_backend("kissat"), SubprocessBackend)
+
+    def test_resolve_backend(self):
+        assert isinstance(resolve_backend(None), InternalBackend)
+        assert isinstance(resolve_backend("internal"), InternalBackend)
+        backend = InternalBackend()
+        assert resolve_backend(backend) is backend
+        assert isinstance(resolve_backend("cadical"), SubprocessBackend)
+
+    def test_backends_satisfy_protocol(self):
+        assert isinstance(InternalBackend(), SolverBackend)
+        assert isinstance(SubprocessBackend("kissat"), SolverBackend)
+
+    def test_available_backends_reports_internal(self):
+        availability = available_backends()
+        assert availability["internal"] is True
+        assert set(availability) == {n for n in BACKEND_NAMES if n != "cdcl"}
+
+
+class TestSubprocessBackend:
+    def test_sat_with_model_and_stats(self, sat_solver):
+        backend = SubprocessBackend("kissat", binary=sat_solver)
+        assert backend.available()
+        cnf = _simple_sat_cnf()
+        result = backend.solve(cnf)
+        assert result.status == "SAT"
+        assert result.is_sat
+        assert cnf.evaluate(result.model)
+        assert result.stats.decisions == 42
+        assert result.stats.conflicts == 17
+        assert result.stats.propagations == 1234
+        assert result.stats.solve_time > 0
+
+    def test_unsat(self, unsat_solver):
+        backend = SubprocessBackend("kissat", binary=unsat_solver)
+        result = backend.solve(_simple_unsat_cnf())
+        assert result.status == "UNSAT"
+        assert result.model is None
+
+    def test_timeout_reports_unknown(self, hanging_solver):
+        backend = SubprocessBackend("custom", binary=hanging_solver)
+        result = backend.solve(_simple_sat_cnf(), time_limit=0.1)
+        assert result.status == "UNKNOWN"
+        assert result.model is None
+
+    def test_garbage_output_raises_backend_error(self, garbage_solver):
+        backend = SubprocessBackend("kissat", binary=garbage_solver)
+        with pytest.raises(BackendError, match="no verdict"):
+            backend.solve(_simple_sat_cnf())
+
+    def test_lying_model_raises_backend_error(self, lying_solver):
+        backend = SubprocessBackend("kissat", binary=lying_solver)
+        with pytest.raises(BackendError, match="does not satisfy"):
+            backend.solve(_simple_sat_cnf())
+
+    def test_missing_binary_unavailable_and_raises(self):
+        backend = SubprocessBackend("kissat",
+                                    binary="/nonexistent/kissat-binary")
+        assert not backend.available()
+        with pytest.raises(BackendUnavailableError, match="kissat"):
+            backend.solve(_simple_sat_cnf())
+
+    def test_missing_path_lookup_raises(self):
+        backend = SubprocessBackend("definitely-not-a-solver-1234")
+        assert not backend.available()
+        with pytest.raises(BackendUnavailableError):
+            backend.solve(_simple_sat_cnf())
+
+    def test_env_var_binary_override(self, sat_solver, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_KISSAT", sat_solver)
+        backend = SubprocessBackend("kissat")
+        assert backend.available()
+        assert backend.solve(_simple_sat_cnf()).status == "SAT"
+
+    def test_exit_code_verdict_without_s_line(self, tmp_path):
+        # MiniSat-style: verdict only through the exit code.
+        script = _fake_solver(tmp_path, "fake_minisat.py", """\
+            import sys
+            print("UNSATISFIABLE")
+            sys.exit(20)
+            """)
+        backend = SubprocessBackend("minisat", binary=script)
+        assert backend.solve(_simple_unsat_cnf()).status == "UNSAT"
+
+
+class TestBackendThreading:
+    """The backend selection flows through pipeline, task and runner."""
+
+    def test_run_pipeline_accepts_backend(self, unsat_solver):
+        from repro.core.pipeline import run_pipeline
+
+        aig = adder_equivalence_miter(4, mutated=True, seed=2)
+        internal = run_pipeline(aig, "Baseline", backend="internal")
+        assert internal.status == "SAT"
+        # The fake backend (wrongly, but verifiably) answers UNSAT — what
+        # matters here is that its verdict flows through run_pipeline.
+        external = run_pipeline(
+            aig, "Baseline",
+            backend=SubprocessBackend("kissat", binary=unsat_solver))
+        assert external.status == "UNSAT"
+
+    def test_task_fingerprint_includes_backend(self):
+        aig = adder_equivalence_miter(4, seed=1)
+        default = Task.from_aig(aig, "Baseline")
+        explicit = Task.from_aig(aig, "Baseline", backend="internal")
+        external = Task.from_aig(aig, "Baseline", backend="kissat")
+        assert default.fingerprint() == explicit.fingerprint()
+        assert default.fingerprint() != external.fingerprint()
+
+    def test_execute_task_with_missing_backend_reports_error(self):
+        aig = adder_equivalence_miter(4, seed=1)
+        task = Task.from_aig(aig, "Baseline", instance_name="x",
+                             backend="definitely-not-a-solver-1234")
+        run = execute_task(task)
+        assert run.status == "ERROR"
+
+    def test_execute_task_with_fake_backend_binary(self, unsat_solver,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_KISSAT", unsat_solver)
+        aig = adder_equivalence_miter(4, seed=1)
+        task = Task.from_aig(aig, "Baseline", instance_name="x",
+                             backend="kissat")
+        run = execute_task(task)
+        assert run.status == "UNSAT"
