@@ -27,6 +27,7 @@ from repro.aig.aiger import (
 )
 from repro.aig.simulate import evaluate, simulate, simulate_exhaustive, simulate_random
 from repro.aig.stats import AigStats, balance_ratio, compute_stats
+from repro.aig.sweep import SweepResult, SweepStats, fraig, sweep_aig
 
 __all__ = [
     "AIG",
@@ -51,4 +52,8 @@ __all__ = [
     "AigStats",
     "compute_stats",
     "balance_ratio",
+    "SweepResult",
+    "SweepStats",
+    "sweep_aig",
+    "fraig",
 ]

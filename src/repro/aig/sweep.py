@@ -1,0 +1,309 @@
+"""SAT sweeping (FRAIG-style functional reduction) of an AIG.
+
+Structural hashing only merges nodes with *identical* fanin pairs; real
+circuits — LEC miters above all — are full of nodes that compute the same
+function through different structures.  SAT sweeping collapses them with the
+classic three-phase loop of Mishchenko et al.'s FRAIGs:
+
+1. **Simulate**: bit-parallel random simulation assigns every node a
+   signature (its value vector over a few thousand patterns).  Nodes whose
+   signatures match up to complementation form *candidate equivalence
+   classes*; almost all functionally distinct nodes are separated here for
+   free.
+2. **Prove**: candidates are confirmed with tiny incremental SAT queries on
+   one Tseitin encoding of the whole AIG.  Each pair query activates two
+   difference clauses under a fresh selector literal and solves with the
+   selector as an assumption (:meth:`repro.sat.solver.CdclSolver.solve`),
+   so learned clauses, VSIDS activities and saved phases accumulate across
+   the thousands of related queries instead of being rebuilt per pair.
+   UNSAT proves the pair equivalent; the equality is then asserted
+   permanently, strengthening every later query.
+3. **Refine**: a SAT answer is a *counterexample* — an input pattern on
+   which the pair differs.  The pattern is simulated over the whole AIG and
+   every pending class is re-partitioned by it, so one refuted pair
+   typically disqualifies many other false candidates at once
+   (counterexample-guided refinement).
+
+Resource limits keep the engine predictable: every pair query runs under a
+conflict budget (``UNKNOWN`` abandons the pair, never compromising
+soundness), classes are processed smallest-first, and oversized classes are
+truncated.  The swept AIG is rebuilt by substituting each merged node with
+its class representative (always an earlier node, so the substitution is
+acyclic) and sweeping out the dangling logic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aig.aig import AIG, CONST0, lit_var
+from repro.aig.simulate import simulate
+from repro.cnf.tseitin import tseitin_encode
+from repro.sat.configs import SolverConfig
+from repro.sat.solver import CdclSolver
+
+__all__ = ["SweepStats", "SweepResult", "sweep_aig", "fraig"]
+
+
+@dataclass
+class SweepStats:
+    """Counters describing one sweep run."""
+
+    nodes_before: int = 0
+    nodes_after: int = 0
+    classes_initial: int = 0
+    sim_patterns: int = 0
+    sat_calls: int = 0
+    proved: int = 0
+    refuted: int = 0
+    undecided: int = 0
+    merges: int = 0
+    const_merges: int = 0
+    refinements: int = 0
+    sweep_time: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "classes_initial": self.classes_initial,
+            "sim_patterns": self.sim_patterns,
+            "sat_calls": self.sat_calls,
+            "proved": self.proved,
+            "refuted": self.refuted,
+            "undecided": self.undecided,
+            "merges": self.merges,
+            "const_merges": self.const_merges,
+            "refinements": self.refinements,
+            "sweep_time": self.sweep_time,
+        }
+
+
+@dataclass
+class SweepResult:
+    """The swept AIG plus the counters of the run that produced it."""
+
+    aig: AIG
+    stats: SweepStats
+
+
+def _evaluate_all(aig: AIG, pi_assignment: list[bool]) -> list[bool]:
+    """Evaluate one input pattern; return the value of every variable."""
+    values = [False] * aig.num_vars
+    for row, pi_var in enumerate(aig.pis):
+        values[pi_var] = pi_assignment[row]
+    for var in aig.and_vars():
+        lit0, lit1 = aig.fanins(var)
+        val0 = values[lit0 >> 1] ^ (lit0 & 1)
+        val1 = values[lit1 >> 1] ^ (lit1 & 1)
+        values[var] = bool(val0 and val1)
+    return values
+
+
+def sweep_aig(aig: AIG, num_patterns: int = 2048, seed: int = 1,
+              conflict_budget: int = 200, max_class_size: int = 64,
+              config: SolverConfig | None = None) -> SweepResult:
+    """SAT-sweep ``aig``: merge proven-equivalent nodes, return the result.
+
+    The returned AIG has the same PI/PO interface and the same PO functions
+    as the input (merges are merged only after an UNSAT proof; budgeted-out
+    pairs are simply left alone, so the transform is always sound).
+
+    ``num_patterns``
+        random simulation patterns for the initial candidate classes
+        (rounded up to a multiple of 64).
+    ``conflict_budget``
+        CDCL conflict limit per pair query; exceeding it abandons the pair.
+    ``max_class_size``
+        candidate classes are truncated to this many members — simulation
+        classes this coarse are usually noise, and the limit bounds the
+        number of SAT queries per class.
+    ``config``
+        solver preset for the proof engine (default: the stock
+        :class:`repro.sat.configs.SolverConfig`).
+    """
+    start = time.perf_counter()
+    stats = SweepStats(nodes_before=aig.num_ands)
+    if aig.num_ands == 0:
+        swept = aig.cleanup()
+        stats.nodes_after = swept.num_ands
+        stats.sweep_time = time.perf_counter() - start
+        return SweepResult(aig=swept, stats=stats)
+
+    # ---------------------------------------------------------------- #
+    # Phase 1: random simulation -> candidate classes
+    # ---------------------------------------------------------------- #
+    rng = np.random.default_rng(seed)
+    num_words = max(1, (num_patterns + 63) // 64)
+    pi_words = rng.integers(0, 2 ** 64, size=(aig.num_pis, num_words),
+                            dtype=np.uint64)
+    values = simulate(aig, pi_words)
+    stats.sim_patterns = num_words * 64
+
+    # Normalise each signature so that pattern 0 evaluates to 0; ``phase``
+    # records the complementation, so nodes equal up to inversion land in
+    # the same class.  The constant node (all-zero row, phase 0) anchors the
+    # class of simulation-constant nodes.
+    num_vars = aig.num_vars
+    phase = [0] * num_vars
+    classes: dict[bytes, list[int]] = {}
+    for var in range(num_vars):
+        row = values[var]
+        var_phase = int(row[0]) & 1
+        phase[var] = var_phase
+        key = (~row if var_phase else row).tobytes()
+        classes.setdefault(key, []).append(var)
+    candidate_classes = [members for members in classes.values()
+                         if len(members) >= 2]
+    stats.classes_initial = len(candidate_classes)
+    if not candidate_classes:
+        swept = aig.cleanup()
+        stats.nodes_after = swept.num_ands
+        stats.sweep_time = time.perf_counter() - start
+        return SweepResult(aig=swept, stats=stats)
+
+    # ---------------------------------------------------------------- #
+    # Phase 2: incremental SAT proving with counterexample refinement
+    # ---------------------------------------------------------------- #
+    cnf = tseitin_encode(aig, output_mode="none")
+    var_map = cnf.var_map
+    solver = CdclSolver(cnf, config=config or SolverConfig())
+
+    merged: dict[int, tuple[int, int]] = {}   # var -> (repr var, rel phase)
+    abandoned: set[int] = set()               # budgeted-out candidates
+
+    tiebreak = itertools.count()
+    heap: list[tuple[int, int, list[int]]] = [
+        (len(members), next(tiebreak), members)
+        for members in candidate_classes
+    ]
+    heapq.heapify(heap)  # class-size ordering: smallest classes first
+
+    def split_class(members: list[int],
+                    node_vals: list[bool]) -> list[list[int]]:
+        zeros: list[int] = []
+        ones: list[int] = []
+        for member in members:
+            if member in merged or member in abandoned:
+                continue
+            (ones if node_vals[member] ^ phase[member] else zeros).append(member)
+        return [part for part in (zeros, ones) if len(part) >= 2]
+
+    while heap:
+        _, _, members = heapq.heappop(heap)
+        members = [m for m in members if m not in merged and m not in abandoned]
+        if len(members) < 2:
+            continue
+        members = members[:max_class_size]
+        repr_var = members[0]
+        counterexample: list[bool] | None = None
+        survivors: list[int] = []
+        for index in range(1, len(members)):
+            member = members[index]
+            if not aig.is_and(member):
+                continue  # PIs / the constant can only be representatives
+            relative = phase[member] ^ phase[repr_var]
+            cnf_member = var_map[member]
+            stats.sat_calls += 1
+            if repr_var == 0:
+                # Constant candidate: is the node ever != its sampled value?
+                assumption = -cnf_member if relative else cnf_member
+                result = solver.solve(assumptions=[assumption],
+                                      max_conflicts=conflict_budget)
+                if result.is_unsat:
+                    solver.add_clause([-assumption])
+                    merged[member] = (0, relative)
+                    stats.proved += 1
+                    stats.const_merges += 1
+                    continue
+            else:
+                cnf_repr = var_map[repr_var]
+                selector = solver.new_var()
+                if relative:
+                    # Prove member == NOT repr: can they ever be equal?
+                    solver.add_clause([-selector, cnf_member, -cnf_repr])
+                    solver.add_clause([-selector, -cnf_member, cnf_repr])
+                else:
+                    # Prove member == repr: can they ever differ?
+                    solver.add_clause([-selector, cnf_member, cnf_repr])
+                    solver.add_clause([-selector, -cnf_member, -cnf_repr])
+                result = solver.solve(assumptions=[selector],
+                                      max_conflicts=conflict_budget)
+                solver.add_clause([-selector])  # retire the selector
+                if result.is_unsat:
+                    # Assert the equality permanently: later queries inherit
+                    # the merge as two binary clauses (the CNF analogue of
+                    # rewiring the node onto its representative).
+                    if relative:
+                        solver.add_clause([cnf_member, cnf_repr])
+                        solver.add_clause([-cnf_member, -cnf_repr])
+                    else:
+                        solver.add_clause([-cnf_member, cnf_repr])
+                        solver.add_clause([cnf_member, -cnf_repr])
+                    merged[member] = (repr_var, relative)
+                    stats.proved += 1
+                    continue
+            if result.status == "UNKNOWN":
+                stats.undecided += 1
+                abandoned.add(member)
+                continue
+            # SAT: a concrete input pattern distinguishes the pair.
+            stats.refuted += 1
+            model = result.model
+            pi_assignment = [bool(model[var_map[pi]]) for pi in aig.pis]
+            counterexample = _evaluate_all(aig, pi_assignment)
+            survivors = [repr_var] + members[index:]
+            break
+        if counterexample is not None:
+            # Counterexample-guided refinement: one refuting pattern
+            # re-partitions every pending class, not just this one.
+            stats.refinements += 1
+            remaining = [survivors] + [entry[2] for entry in heap]
+            heap = []
+            for cls in remaining:
+                for part in split_class(cls, counterexample):
+                    heap.append((len(part), next(tiebreak), part))
+            heapq.heapify(heap)
+
+    # ---------------------------------------------------------------- #
+    # Phase 3: rebuild with merged nodes substituted by representatives
+    # ---------------------------------------------------------------- #
+    swept = AIG(name=aig.name)
+    mapping: dict[int, int] = {0: CONST0}
+    for pi_var, pi_name in zip(aig.pis, aig.pi_names):
+        mapping[pi_var] = swept.add_pi(pi_name)
+
+    def translate(literal: int) -> int:
+        return mapping[lit_var(literal)] ^ (literal & 1)
+
+    for var in aig.and_vars():
+        merge = merged.get(var)
+        if merge is not None:
+            repr_var, relative = merge
+            mapping[var] = mapping[repr_var] ^ relative
+        else:
+            lit0, lit1 = aig.fanins(var)
+            mapping[var] = swept.add_and(translate(lit0), translate(lit1))
+    for po, po_name in zip(aig.pos, aig.po_names):
+        swept.add_po(translate(po), po_name)
+    swept = swept.cleanup()
+
+    stats.merges = len(merged)
+    stats.nodes_after = swept.num_ands
+    stats.sweep_time = time.perf_counter() - start
+    return SweepResult(aig=swept, stats=stats)
+
+
+def fraig(aig: AIG) -> AIG:
+    """The recipe-operation form of :func:`sweep_aig` (defaults only).
+
+    Registered as ``"fraig"`` (alias ``"f"``) in
+    :mod:`repro.synthesis.recipe`, so SAT sweeping can appear anywhere in a
+    synthesis script, e.g. ``balance,rewrite,fraig``.
+    """
+    return sweep_aig(aig).aig

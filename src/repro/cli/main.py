@@ -31,7 +31,7 @@ from repro.sat.backends import (
 )
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
 from repro.sat.solver import SolveResult
-from repro.synthesis.recipe import OPERATIONS
+from repro.synthesis.recipe import OPERATIONS, canonical_operation
 
 #: CLI spellings of the named pipelines (the registry uses the paper labels).
 PIPELINE_ALIASES = {
@@ -101,8 +101,13 @@ def resolve_pipeline(name: str) -> str:
 
 
 def parse_recipe(text: str) -> list[str]:
-    """Parse a comma/space-separated synthesis recipe, validating each op."""
-    operations = [op for chunk in text.split(",") for op in chunk.split() if op]
+    """Parse a comma/space-separated synthesis recipe, validating each op.
+
+    ABC-style one-letter aliases (``f`` = ``fraig``, ``b`` = ``balance``,
+    ...) are expanded to their registry spellings.
+    """
+    operations = [canonical_operation(op)
+                  for chunk in text.split(",") for op in chunk.split() if op]
     for op in operations:
         if op not in OPERATIONS and op != "end":
             raise CliError(
@@ -116,6 +121,8 @@ def pipeline_kwargs_from_args(args: argparse.Namespace,
                               pipeline: str) -> dict:
     """Collect the per-pipeline keyword arguments selected on the CLI."""
     kwargs: dict = {}
+    if args.sweep:
+        kwargs["sweep"] = True  # every pipeline supports SAT sweeping
     if pipeline == "Baseline":
         if args.recipe is not None or args.lut_size is not None:
             raise CliError(
@@ -198,10 +205,10 @@ def cmd_solve(args: argparse.Namespace) -> int:
     else:
         # --pipeline has a default and is silently unused for CNF input;
         # only flags that always imply circuit preprocessing are rejected.
-        if args.recipe is not None or args.lut_size is not None:
+        if args.recipe is not None or args.lut_size is not None or args.sweep:
             raise CliError(
-                f"{args.file} is already CNF; --recipe/--lut-size apply "
-                f"only to circuit (.aag/.aig) inputs"
+                f"{args.file} is already CNF; --recipe/--lut-size/--sweep "
+                f"apply only to circuit (.aag/.aig) inputs"
             )
         cnf = instance
     _comment(f"cnf: {cnf.num_vars} variables, {cnf.num_clauses} clauses",
@@ -292,6 +299,51 @@ def cmd_preprocess(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.aig.aiger import write_aiger_binary, write_aiger_file
+    from repro.aig.sweep import sweep_aig
+
+    kind, instance = load_input(args.file)
+    if kind != "aig":
+        raise CliError(
+            f"{args.file} is already CNF; sweep takes a circuit "
+            f"(.aag/.aig) input"
+        )
+    result = sweep_aig(instance, num_patterns=args.patterns,
+                       conflict_budget=args.conflict_budget,
+                       max_class_size=args.max_class_size, seed=args.seed)
+    stats = result.stats
+
+    output = Path(args.output) if args.output else Path(
+        Path(args.file).stem + ".fraig.aag")
+    if output.suffix.lower() == ".aig":
+        output.write_bytes(write_aiger_binary(result.aig))
+    else:
+        write_aiger_file(result.aig, output)
+
+    _comment(f"repro sweep {args.file}", args.quiet)
+    _comment(f"circuit: {instance.num_pis} PIs, {instance.num_pos} POs, "
+             f"{instance.num_ands} AND gates", args.quiet)
+    _comment(f"swept:   {stats.nodes_before} -> {stats.nodes_after} AND "
+             f"gates ({stats.merges} merges, {stats.const_merges} constants) "
+             f"in {stats.sweep_time:.3f} s", args.quiet)
+    _comment(f"proofs:  {stats.sat_calls} SAT calls "
+             f"({stats.proved} proved, {stats.refuted} refuted, "
+             f"{stats.undecided} budgeted out, "
+             f"{stats.refinements} refinements)", args.quiet)
+    _emit(f"wrote {output}", args.quiet)
+
+    if args.json is not None:
+        _write_json({
+            "file": str(args.file),
+            "output": str(output),
+            "num_pis": instance.num_pis,
+            "num_pos": instance.num_pos,
+            "stats": stats.as_dict(),
+        }, args.json)
+    return 0
+
+
 def cmd_bench(argv: list[str]) -> int:
     # The sweep runner keeps its own parser; ``repro bench`` simply forwards
     # so there is one front door but no duplicated flag definitions.
@@ -347,6 +399,10 @@ def _add_solve_flags(parser: argparse.ArgumentParser) -> None:
                              "comma-separated (e.g. balance,rewrite,resub)")
     parser.add_argument("--lut-size", type=int, default=None,
                         help="LUT size for the comp/ours mappers (default: 4)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="SAT-sweep (fraig) the circuit before "
+                             "mapping/encoding: merge functionally "
+                             "equivalent nodes under incremental SAT proofs")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write a JSON report to PATH ('-' = stdout)")
     parser.add_argument("-q", "--quiet", action="store_true",
@@ -398,6 +454,33 @@ def build_parser() -> argparse.ArgumentParser:
                                  "<input stem>.<pipeline>.cnf)")
     _add_solve_flags(preprocess)
     preprocess.set_defaults(handler=cmd_preprocess)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="SAT-sweep (fraig) a circuit and write the result",
+        description="Merge functionally equivalent AIG nodes under "
+                    "incremental SAT proofs (random-simulation candidates, "
+                    "counterexample-guided refinement) and write the swept "
+                    "circuit as AIGER.")
+    sweep.add_argument("file", help="input circuit (.aag or .aig)")
+    sweep.add_argument("-o", "--output", default=None,
+                       help="output path; .aig writes binary AIGER "
+                            "(default: <input stem>.fraig.aag)")
+    sweep.add_argument("--patterns", type=int, default=2048,
+                       help="random simulation patterns for candidate "
+                            "classes (default: %(default)s)")
+    sweep.add_argument("--conflict-budget", type=int, default=200,
+                       help="CDCL conflict limit per equivalence query "
+                            "(default: %(default)s)")
+    sweep.add_argument("--max-class-size", type=int, default=64,
+                       help="truncate candidate classes to this many "
+                            "members (default: %(default)s)")
+    sweep.add_argument("--seed", type=int, default=1,
+                       help="simulation pattern seed (default: %(default)s)")
+    sweep.add_argument("--json", default=None, metavar="PATH",
+                       help="also write a JSON report to PATH ('-' = stdout)")
+    sweep.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress the 'c' comment lines")
+    sweep.set_defaults(handler=cmd_sweep)
 
     # ``bench`` is dispatched before parsing (argparse.REMAINDER cannot
     # forward leading options); this stub only makes it appear in --help.

@@ -53,25 +53,37 @@ class PipelineSpec:
     encode: Callable[[AIG], tuple[Cnf, float]]
 
 
-def baseline_pipeline(aig: AIG) -> tuple[Cnf, float]:
-    """Baseline: direct Tseitin encoding of the input AIG."""
+def baseline_pipeline(aig: AIG, sweep: bool = False) -> tuple[Cnf, float]:
+    """Baseline: direct Tseitin encoding of the input AIG.
+
+    ``sweep=True`` SAT-sweeps the AIG first (``repro.aig.sweep``), so the
+    classic "fraig before encoding" flow is available even without the
+    synthesis/mapping stages.
+    """
     start = time.perf_counter()
+    if sweep:
+        from repro.aig.sweep import sweep_aig
+
+        aig = sweep_aig(aig).aig
     cnf = tseitin_encode(aig)
     return cnf, time.perf_counter() - start
 
 
 def comp_pipeline(aig: AIG, lut_size: int = 4,
-                  recipe: list[str] | None = None) -> tuple[Cnf, float]:
+                  recipe: list[str] | None = None,
+                  sweep: bool = False) -> tuple[Cnf, float]:
     """Comp.: size-oriented synthesis plus conventional (area-cost) mapping.
 
     ``recipe`` overrides the default ``compress2`` script — used e.g. by the
     Fig. 5 "C. Mapper" ablation, which maps the "Ours" recipe with the
-    conventional area cost.
+    conventional area cost.  ``sweep`` inserts SAT sweeping between the
+    recipe and the mapper.
     """
     preprocessor = Preprocessor(
         lut_size=lut_size,
         use_branching_cost=False,
         recipe=list(recipe) if recipe is not None else list(COMPRESS2_RECIPE),
+        sweep=sweep,
     )
     result = preprocessor.preprocess(aig)
     return result.cnf, result.preprocess_time
@@ -79,14 +91,19 @@ def comp_pipeline(aig: AIG, lut_size: int = 4,
 
 def ours_pipeline(aig: AIG, agent: object | None = None,
                   recipe: list[str] | None = None,
-                  lut_size: int = 4, max_steps: int = 10) -> tuple[Cnf, float]:
-    """Ours: RL-guided recipe plus cost-customised LUT mapping (Algorithm 1)."""
+                  lut_size: int = 4, max_steps: int = 10,
+                  sweep: bool = False) -> tuple[Cnf, float]:
+    """Ours: RL-guided recipe plus cost-customised LUT mapping (Algorithm 1).
+
+    ``sweep`` inserts SAT sweeping between the recipe and the mapper.
+    """
     preprocessor = Preprocessor(
         lut_size=lut_size,
         use_branching_cost=True,
         agent=agent,
         recipe=recipe,
         max_steps=max_steps,
+        sweep=sweep,
     )
     result = preprocessor.preprocess(aig)
     return result.cnf, result.preprocess_time

@@ -60,7 +60,15 @@ class PreprocessResult:
 
 @dataclass
 class Preprocessor:
-    """Configurable implementation of Algorithm 1."""
+    """Configurable implementation of Algorithm 1.
+
+    ``sweep`` runs SAT sweeping (:func:`repro.aig.sweep.sweep_aig`) after
+    the synthesis recipe and before LUT mapping: functionally equivalent
+    internal nodes are merged under incremental SAT proofs, which collapses
+    LEC-style instances where large parts of the circuit are provably
+    equivalent before the final solver ever runs.  ``sweep_kwargs`` tunes
+    the engine (``num_patterns``, ``conflict_budget``, ...).
+    """
 
     lut_size: int = 4
     use_branching_cost: bool = True
@@ -68,6 +76,8 @@ class Preprocessor:
     apply_initial_recipe: bool = False
     agent: object | None = None
     recipe: list[str] | None = None
+    sweep: bool = False
+    sweep_kwargs: dict | None = None
     embedder: DeepGateEmbedder = field(default_factory=lambda: DeepGateEmbedder(dim=64))
 
     def preprocess(self, aig: AIG) -> PreprocessResult:
@@ -78,6 +88,11 @@ class Preprocessor:
         if self.apply_initial_recipe:
             transformed = apply_recipe(transformed, initial_recipe())
         transformed = apply_recipe(transformed, recipe)
+        if self.sweep:
+            from repro.aig.sweep import sweep_aig
+
+            transformed = sweep_aig(transformed,
+                                    **(self.sweep_kwargs or {})).aig
         cost_fn = branching_cost if self.use_branching_cost else area_cost
         mapping = map_aig(transformed, k=self.lut_size, cost_fn=cost_fn)
         cnf = lut_netlist_to_cnf(mapping.netlist)

@@ -4,6 +4,14 @@ Runs the fixed micro-benchmark suite, prints a table and writes
 ``BENCH_perf.json``.  The JSON file is the unit of the performance
 trajectory: every perf-focused PR re-runs the suite and records its medians,
 so regressions and wins are visible across the repository's history.
+
+Since schema 2 each benchmark entry also carries ``vs_previous``: the
+median ratio and per-counter deltas against the run previously recorded at
+the output path (or an explicit ``--baseline`` file), so a committed
+``BENCH_*.json`` is self-describing — the trajectory step it represents can
+be read off the file itself instead of requiring ``git diff`` archaeology.
+``python -m repro.perf.compare`` turns the same comparison into a CI
+regression gate.
 """
 
 from __future__ import annotations
@@ -12,12 +20,13 @@ import argparse
 import json
 import platform
 import sys
+from pathlib import Path
 
 from repro.perf.bench import BenchResult, run_suite
 from repro.perf.suite import default_suite
 
 #: Bump when the JSON layout changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def format_table(results: list[BenchResult]) -> str:
@@ -33,16 +42,55 @@ def format_table(results: list[BenchResult]) -> str:
     return "\n".join(lines)
 
 
-def results_payload(results: list[BenchResult], mode: str,
-                    repeats: int) -> dict[str, object]:
-    """Build the ``BENCH_perf.json`` document."""
+def _delta_entry(entry: dict[str, object], previous_bench: dict | None,
+                 previous_mode: str | None, mode: str) -> dict | None:
+    """Describe one benchmark's step relative to the previous recorded run."""
+    if not previous_bench:
+        return None
+    previous_median = previous_bench.get("median_s")
+    delta: dict[str, object] = {
+        "mode": previous_mode,
+        "mode_match": previous_mode == mode,
+        "median_s": previous_median,
+    }
+    if isinstance(previous_median, (int, float)) and previous_median > 0:
+        delta["median_ratio"] = round(
+            float(entry["median_s"]) / float(previous_median), 4)
+    previous_counters = previous_bench.get("counters") or {}
+    delta["counters_delta"] = {
+        key: round(float(value) - float(previous_counters[key]), 6)
+        for key, value in sorted(entry["counters"].items())  # type: ignore[union-attr]
+        if key in previous_counters
+    }
+    return delta
+
+
+def results_payload(results: list[BenchResult], mode: str, repeats: int,
+                    previous: dict | None = None) -> dict[str, object]:
+    """Build the ``BENCH_perf.json`` document.
+
+    ``previous`` is the parsed payload of the last recorded run (if any);
+    each benchmark then carries a ``vs_previous`` block with its median
+    ratio and counter deltas, making the committed trajectory
+    self-describing.  Cross-mode comparisons are recorded but flagged with
+    ``mode_match: false`` — a quick run diffed against a full baseline says
+    nothing about timing.
+    """
+    benchmarks: dict[str, object] = {}
+    previous_benchmarks = (previous or {}).get("benchmarks", {})
+    previous_mode = (previous or {}).get("mode")
+    for result in results:
+        entry = result.as_dict()
+        entry["vs_previous"] = _delta_entry(
+            entry, previous_benchmarks.get(result.name), previous_mode, mode)
+        benchmarks[result.name] = entry
     return {
         "schema": SCHEMA_VERSION,
         "mode": mode,
         "repeats": repeats,
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "benchmarks": {result.name: result.as_dict() for result in results},
+        "benchmarks": benchmarks,
     }
 
 
@@ -59,6 +107,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="only run benchmarks whose name contains SUBSTRING")
     parser.add_argument("--out", default="BENCH_perf.json", metavar="PATH",
                         help="output JSON path (default: %(default)s)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="previous-run JSON to diff against in the "
+                             "'vs_previous' blocks (default: the existing "
+                             "file at --out, when present)")
     parser.add_argument("--no-write", action="store_true",
                         help="print the table but do not write the JSON file")
     args = parser.parse_args(argv)
@@ -80,7 +132,17 @@ def main(argv: list[str] | None = None) -> int:
     print(format_table(results))
 
     if not args.no_write:
-        payload = results_payload(results, mode=mode, repeats=repeats)
+        baseline_path = Path(args.baseline) if args.baseline else Path(args.out)
+        previous = None
+        if baseline_path.exists():
+            try:
+                previous = json.loads(baseline_path.read_text())
+            except (OSError, ValueError):
+                print(f"warning: could not read previous run from "
+                      f"{baseline_path}; 'vs_previous' left empty",
+                      file=sys.stderr)
+        payload = results_payload(results, mode=mode, repeats=repeats,
+                                  previous=previous)
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")

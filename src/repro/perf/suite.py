@@ -18,7 +18,12 @@ numbers.
 
 from __future__ import annotations
 
+import random
+import time
+
+from repro.aig.aig import AIG
 from repro.aig.simulate import exhaustive_pi_words, simulate, simulate_random
+from repro.aig.sweep import sweep_aig
 from repro.benchgen.lec import multiplier_commutativity_miter
 from repro.benchgen.random_logic import pigeonhole_cnf, random_aig, random_cnf
 from repro.cnf.cnf import Cnf
@@ -41,6 +46,79 @@ def _solve_batch(cnfs: list[Cnf]) -> dict[str, float]:
             "decisions": decisions, "sat": sat, "unsat": unsat}
 
 
+def _sweep_then_solve(aig: AIG) -> dict[str, float]:
+    """The fraig-first LEC flow: sweep, re-encode, solve the collapsed miter."""
+    swept = sweep_aig(aig)
+    result = CdclSolver(tseitin_encode(swept.aig)).solve()
+    return {
+        "ands_before": swept.stats.nodes_before,
+        "ands_after": swept.stats.nodes_after,
+        "merges": swept.stats.merges,
+        "sat_calls": swept.stats.sat_calls,
+        "solve_conflicts": result.stats.conflicts,
+        "unsat": result.is_unsat,
+    }
+
+
+def _incremental_query_batch(payload: tuple[Cnf, list[list[int]]]) -> dict[str, float]:
+    """Solve a shared-prefix assumption batch twice: incrementally and naively.
+
+    The timed region covers both strategies; the counters record the split,
+    so the recorded ``speedup`` is the paper-style claim the JSON trajectory
+    tracks — one persistent solver (learned clauses, VSIDS, phases carried
+    across queries) versus one fresh solver instantiation per query.
+    """
+    cnf, queries = payload
+    start = time.perf_counter()
+    solver = CdclSolver(cnf)
+    incremental_statuses = [solver.solve(assumptions=query).status
+                            for query in queries]
+    incremental_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    oneshot_statuses = [CdclSolver(cnf).solve(assumptions=query).status
+                        for query in queries]
+    oneshot_s = time.perf_counter() - start
+
+    agree = sum(first == second for first, second
+                in zip(incremental_statuses, oneshot_statuses))
+    return {
+        "queries": len(queries),
+        "agree": agree,
+        "sat": sum(status == "SAT" for status in incremental_statuses),
+        "unsat": sum(status == "UNSAT" for status in incremental_statuses),
+        "incremental_ms": incremental_s * 1000.0,
+        "oneshot_ms": oneshot_s * 1000.0,
+        "speedup": oneshot_s / incremental_s if incremental_s > 0 else 0.0,
+    }
+
+
+def _incremental_setup(num_vars: int, num_queries: int,
+                       seed: int) -> tuple[Cnf, list[list[int]]]:
+    """A near-phase-transition base formula plus shared-prefix query batch."""
+    cnf = random_cnf(num_vars, int(num_vars * 4.1), seed,
+                     min_width=3, max_width=3)
+    rng = random.Random(seed + 1)
+    prefix = []
+    seen: set[int] = set()
+    while len(prefix) < 4:
+        var = rng.randint(1, num_vars)
+        if var not in seen:
+            seen.add(var)
+            prefix.append(var if rng.random() < 0.5 else -var)
+    queries = []
+    for _ in range(num_queries):
+        suffix = []
+        chosen = set(seen)
+        while len(suffix) < 8:
+            var = rng.randint(1, num_vars)
+            if var not in chosen:
+                chosen.add(var)
+                suffix.append(var if rng.random() < 0.5 else -var)
+        queries.append(prefix + suffix)
+    return cnf, queries
+
+
 # --------------------------------------------------------------------- #
 # Suite definition
 # --------------------------------------------------------------------- #
@@ -60,6 +138,8 @@ def default_suite(quick: bool = False) -> list[Benchmark]:
     sim_words = 64 if quick else 512
     exhaustive_pis = 10 if quick else 14
     query_rounds = 20 if quick else 200
+    incremental_vars = 60 if quick else 100
+    incremental_queries = 6 if quick else 24
 
     benchmarks = [
         Benchmark(
@@ -89,6 +169,27 @@ def default_suite(quick: bool = False) -> list[Benchmark]:
             setup=lambda: [tseitin_encode(
                 multiplier_commutativity_miter(miter_width))],
             run=_solve_batch,
+        ),
+        Benchmark(
+            name="sweep_lec",
+            category="solver",
+            description=f"SAT-sweep (fraig) + re-encode + solve of the same "
+                        f"width-{miter_width} multiplier miter "
+                        f"(incremental-queries flow vs. solver_lec_miter's "
+                        f"monolithic solve)",
+            setup=lambda: multiplier_commutativity_miter(miter_width),
+            run=_sweep_then_solve,
+        ),
+        Benchmark(
+            name="solver_incremental",
+            category="solver",
+            description=f"{incremental_queries} shared-prefix assumption "
+                        f"queries on a {incremental_vars}-var 3-SAT base: "
+                        f"one persistent incremental solver vs. a fresh "
+                        f"solver per query (both timed; see counters)",
+            setup=lambda: _incremental_setup(incremental_vars,
+                                             incremental_queries, seed=42),
+            run=_incremental_query_batch,
         ),
         Benchmark(
             name="cuts_enumerate",

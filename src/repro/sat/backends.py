@@ -98,8 +98,10 @@ class SolverBackend(Protocol):
     def solve(self, cnf: Cnf, config: SolverConfig | None = None,
               time_limit: float | None = None,
               max_conflicts: int | None = None,
-              max_decisions: int | None = None) -> SolveResult:
-        """Solve ``cnf`` and return a :class:`SolveResult`."""
+              max_decisions: int | None = None,
+              assumptions: list[int] | None = None) -> SolveResult:
+        """Solve ``cnf`` — optionally under ``assumptions`` (DIMACS literals
+        held true for this call) — and return a :class:`SolveResult`."""
         ...
 
 
@@ -114,10 +116,27 @@ class InternalBackend:
     def solve(self, cnf: Cnf, config: SolverConfig | None = None,
               time_limit: float | None = None,
               max_conflicts: int | None = None,
-              max_decisions: int | None = None) -> SolveResult:
+              max_decisions: int | None = None,
+              assumptions: list[int] | None = None) -> SolveResult:
         return solve_cnf(cnf, config=config, time_limit=time_limit,
                          max_conflicts=max_conflicts,
-                         max_decisions=max_decisions)
+                         max_decisions=max_decisions,
+                         assumptions=assumptions)
+
+    def incremental(self, cnf: Cnf,
+                    config: SolverConfig | None = None) -> "CdclSolver":
+        """Build a persistent :class:`repro.sat.solver.CdclSolver` session.
+
+        Only the internal backend supports true incrementality: the returned
+        solver keeps learned clauses, activities and phases across
+        ``solve(assumptions=...)`` calls and accepts ``add_clause`` /
+        ``new_var`` between them.  This is the substrate the SAT-sweeping
+        engine (:mod:`repro.aig.sweep`) runs its thousands of tiny
+        equivalence queries on.
+        """
+        from repro.sat.solver import CdclSolver
+
+        return CdclSolver(cnf, config=config)
 
     def __repr__(self) -> str:
         return "InternalBackend()"
@@ -178,15 +197,29 @@ class SubprocessBackend:
     def solve(self, cnf: Cnf, config: SolverConfig | None = None,
               time_limit: float | None = None,
               max_conflicts: int | None = None,
-              max_decisions: int | None = None) -> SolveResult:
+              max_decisions: int | None = None,
+              assumptions: list[int] | None = None) -> SolveResult:
         """Run the external solver on ``cnf``.
 
         ``config``, ``max_conflicts`` and ``max_decisions`` configure the
         *internal* solver and have no external equivalent; they are accepted
         (so backends are interchangeable) and ignored.
+
+        ``assumptions`` have no incremental equivalent over a DIMACS
+        subprocess either, so they fall back to a per-call re-encode: each
+        assumption is appended as a unit clause to a copy of the formula.
+        The verdict is therefore correct, but an UNSAT result can only
+        report the trivial core (all assumptions) — callers that need
+        minimised cores use the internal backend.
         """
         del config, max_conflicts, max_decisions
         from repro.cnf.dimacs import render_dimacs
+
+        if assumptions:
+            constrained = cnf.copy()
+            for literal in assumptions:
+                constrained.add_clause([literal])
+            cnf = constrained
 
         binary = self._require_binary()
         command = [binary]
@@ -218,10 +251,12 @@ class SubprocessBackend:
                     f"({binary}): {exc}"
                 ) from exc
         elapsed = time.perf_counter() - start
-        return self._parse_output(cnf, process, elapsed)
+        return self._parse_output(cnf, process, elapsed,
+                                  assumptions=assumptions)
 
     def _parse_output(self, cnf: Cnf, process: subprocess.CompletedProcess,
-                      elapsed: float) -> SolveResult:
+                      elapsed: float,
+                      assumptions: list[int] | None = None) -> SolveResult:
         status = None
         model_literals: list[int] = []
         stats = SolverStats(solve_time=elapsed)
@@ -267,7 +302,10 @@ class SubprocessBackend:
                 )
 
         if status != "SAT":
-            return SolveResult(status=status, model=None, stats=stats)
+            core = (list(assumptions) if assumptions else []) \
+                if status == "UNSAT" else None
+            return SolveResult(status=status, model=None, stats=stats,
+                               core=core)
 
         model = {var: False for var in range(1, cnf.num_vars + 1)}
         for literal in model_literals:

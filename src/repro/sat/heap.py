@@ -36,6 +36,17 @@ class VarOrderHeap:
     def __contains__(self, var: int) -> bool:
         return self.position[var] >= 0
 
+    def grow(self) -> None:
+        """Extend the position index after new variables were appended.
+
+        The heap shares the caller's activity list by reference, so after the
+        caller appends activities for freshly created variables this brings
+        the position index back to the same length.  Existing entries are
+        untouched.
+        """
+        while len(self.position) < len(self.activity):
+            self.position.append(-1)
+
     def build(self, variables: list[int]) -> None:
         """Bulk-load the heap from scratch in O(n)."""
         self.heap = list(variables)

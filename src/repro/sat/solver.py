@@ -14,7 +14,15 @@ modern additions the paper's target solvers (Kissat, CaDiCaL) rely on:
 * glue-based (LBD) learned-clause database reduction performed in place:
   deleted clauses are detached from their two watch lists and their slots
   recycled, so clause indices — and therefore reason references — stay
-  stable across reductions.
+  stable across reductions;
+* an *incremental* interface in the MiniSat assumption style:
+  :meth:`CdclSolver.solve` accepts ``assumptions`` (DIMACS literals held
+  fixed for one call), UNSAT-under-assumptions results carry a
+  *final-conflict core* (the subset of assumptions that already clash), and
+  :meth:`CdclSolver.add_clause` / :meth:`CdclSolver.new_var` grow the
+  formula between calls while learned clauses, VSIDS activities and saved
+  phases persist — repeated related queries (SAT sweeping, CEGAR loops)
+  converge far faster than re-instantiating the solver per query.
 
 Internally literals are encoded as ``2 * var + sign`` with 0-based variables;
 the public interface speaks DIMACS (1-based signed integers) through
@@ -25,6 +33,7 @@ propagation inner loop's value checks into single list lookups.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 
@@ -42,11 +51,19 @@ _TRUE = 1
 
 @dataclass
 class SolveResult:
-    """Outcome of a solver run."""
+    """Outcome of a solver run.
+
+    ``core`` is only populated for UNSAT results: it is the subset of the
+    assumption literals (DIMACS encoding, as passed in) that is already
+    jointly inconsistent with the clause database — the *final-conflict
+    core* of MiniSat's ``analyzeFinal``.  An empty core means the formula is
+    UNSAT regardless of the assumptions.
+    """
 
     status: str                      # "SAT", "UNSAT" or "UNKNOWN"
     model: dict[int, bool] | None    # DIMACS variable -> value (SAT only)
     stats: SolverStats
+    core: list[int] | None = None    # failed assumption subset (UNSAT only)
 
     @property
     def is_sat(self) -> bool:
@@ -112,6 +129,8 @@ class CdclSolver:
         self._marked_stamp = [0] * self.num_vars
         self._level_stamp = [0] * (self.num_vars + 1)
         self._epoch = 0
+
+        self._rng = random.Random(self.config.seed)
 
         self._ok = True
         self._trivially_unsat = False
@@ -181,6 +200,122 @@ class CdclSolver:
                 watch_list[position + 1] = watch_list[-1]
                 del watch_list[-2:]
                 return
+
+    # ------------------------------------------------------------------ #
+    # Incremental interface
+    # ------------------------------------------------------------------ #
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; return its (1-based) DIMACS index.
+
+        Every per-variable structure — watch lists, assignment array, reason
+        and level arrays, activity, heap position, saved phase and the
+        analysis scratch stamps — is extended in place, so the call is valid
+        between any two :meth:`solve` invocations.
+        """
+        var = self.num_vars
+        self.num_vars += 1
+        self._watches.append([])
+        self._watches.append([])
+        self._lit_val.extend((_UNASSIGNED, _UNASSIGNED))
+        self._level.append(0)
+        self._reason.append(-1)
+        self._activity.append(0.0)
+        self._saved_phase.append(self.config.default_phase)
+        self._seen_stamp.append(0)
+        self._marked_stamp.append(0)
+        self._level_stamp.append(0)
+        self._order.grow()
+        self._order.insert(var)
+        return var + 1
+
+    def add_clause(self, clause: list[int] | tuple[int, ...]) -> bool:
+        """Add a DIMACS clause between solves; return False on inconsistency.
+
+        The trail is unwound to decision level 0 first, so the new clause can
+        be simplified against the permanent (level-0) assignment: satisfied
+        clauses are dropped, false literals removed.  A clause that empties
+        out — or a unit whose propagation conflicts — marks the database
+        inconsistent, after which every :meth:`solve` returns UNSAT.  Watch
+        lists, learned clauses and heuristic state all stay intact, so
+        solving can resume immediately after the call.
+        """
+        if self._trivially_unsat or not self._ok:
+            return False
+        self._backtrack(0)
+        literals = self._convert_clause(clause)
+        if literals is None:
+            return True  # tautology
+        lit_val = self._lit_val
+        simplified: list[int] = []
+        for literal in literals:
+            value = lit_val[literal]
+            if value == _TRUE:
+                return True  # satisfied by the level-0 assignment
+            if value == _FALSE:
+                continue
+            simplified.append(literal)
+        if not simplified:
+            self._ok = False
+            return False
+        if len(simplified) == 1:
+            if not self._enqueue(simplified[0], -1) or self._propagate() >= 0:
+                self._ok = False
+                return False
+            return True
+        self._attach_clause(simplified, lbd=0, learned=False)
+        return True
+
+    def _convert_assumptions(self, assumptions) -> list[int]:
+        literals: list[int] = []
+        for dimacs in assumptions:
+            var = abs(dimacs) - 1
+            if dimacs == 0 or var >= self.num_vars:
+                raise SolverError(f"assumption literal {dimacs} out of range")
+            literals.append(2 * var + (1 if dimacs < 0 else 0))
+        return literals
+
+    @staticmethod
+    def _to_dimacs(literal: int) -> int:
+        var = (literal >> 1) + 1
+        return -var if literal & 1 else var
+
+    def _analyze_final(self, literal: int) -> list[int]:
+        """MiniSat's ``analyzeFinal``: why is assumption ``literal`` false?
+
+        Walks the trail from the top down to the first decision, expanding
+        reason clauses, and collects the assumption literals (the decisions
+        of the assumption levels) that imply the complement of ``literal``.
+        Returns the failed core as DIMACS literals, including ``literal``
+        itself.
+        """
+        core = [literal]
+        if self._trail_lim:
+            self._epoch += 1
+            epoch = self._epoch
+            seen = self._seen_stamp
+            level = self._level
+            reasons = self._reason
+            clauses = self._clauses
+            trail = self._trail
+            seen[literal >> 1] = epoch
+            boundary = self._trail_lim[0]
+            for index in range(len(trail) - 1, boundary - 1, -1):
+                trail_literal = trail[index]
+                var = trail_literal >> 1
+                if seen[var] != epoch:
+                    continue
+                reason_index = reasons[var]
+                if reason_index == -1:
+                    # A decision below len(assumptions) levels is always an
+                    # assumption (VSIDS decisions only open higher levels).
+                    core.append(trail_literal)
+                else:
+                    for other in clauses[reason_index]:
+                        if level[other >> 1] > 0:
+                            seen[other >> 1] = epoch
+                seen[var] = 0
+        return [self._to_dimacs(lit) for lit in core]
 
     # ------------------------------------------------------------------ #
     # Assignment primitives
@@ -419,7 +554,17 @@ class CdclSolver:
         return -1
 
     def _decide(self) -> bool:
-        var = self._pick_branch_variable()
+        var = -1
+        freq = self.config.random_decision_freq
+        if freq > 0.0 and self._order.heap and self._rng.random() < freq:
+            # Random decisions leave the candidate on the heap: if it is
+            # already assigned the VSIDS pick below takes over, and the heap
+            # invariants are untouched either way.
+            candidate = self._order.heap[self._rng.randrange(len(self._order.heap))]
+            if self._lit_val[2 * candidate] == _UNASSIGNED:
+                var = candidate
+        if var < 0:
+            var = self._pick_branch_variable()
         if var < 0:
             return False
         self.stats.decisions += 1
@@ -475,15 +620,35 @@ class CdclSolver:
 
     def solve(self, max_conflicts: int | None = None,
               max_decisions: int | None = None,
-              time_limit: float | None = None) -> SolveResult:
+              time_limit: float | None = None,
+              assumptions: list[int] | None = None) -> SolveResult:
         """Run the solver, optionally under conflict/decision/time budgets.
 
         When a budget is exhausted the result status is ``"UNKNOWN"``.
+
+        ``assumptions`` is a list of DIMACS literals held true for this call
+        only (they occupy the lowest decision levels, MiniSat-style).  When
+        the formula is UNSAT *under* the assumptions the result's ``core``
+        names the failed assumption subset; an empty ``core`` means the
+        clause database itself is inconsistent.
+
+        The method may be called repeatedly, interleaved with
+        :meth:`add_clause` / :meth:`new_var`.  Learned clauses, VSIDS
+        activities and saved phases persist across calls, and the
+        conflict/decision budgets are *per call* (measured against this
+        call's share of the cumulative statistics).
         """
         start_time = time.perf_counter()
+        stats = self.stats
+        assumption_lits = (self._convert_assumptions(assumptions)
+                           if assumptions else [])
         if self._trivially_unsat or not self._ok:
-            self.stats.solve_time = time.perf_counter() - start_time
-            return SolveResult(status="UNSAT", model=None, stats=self.stats)
+            stats.solve_time = time.perf_counter() - start_time
+            return SolveResult(status="UNSAT", model=None, stats=stats,
+                               core=[])
+        self._backtrack(0)
+        conflicts_start = stats.conflicts
+        decisions_start = stats.decisions
 
         restart_count = 0
         conflicts_until_restart = self._next_restart_budget(restart_count)
@@ -492,33 +657,38 @@ class CdclSolver:
         while True:
             conflict = self._propagate()
             if conflict >= 0:
-                self.stats.conflicts += 1
+                stats.conflicts += 1
                 conflicts_until_restart -= 1
                 conflicts_since_reduce += 1
                 if not self._trail_lim:
-                    self.stats.solve_time = time.perf_counter() - start_time
-                    return SolveResult(status="UNSAT", model=None, stats=self.stats)
+                    # Conflict at level 0: the database itself is now
+                    # inconsistent, independent of any assumptions.
+                    self._ok = False
+                    stats.solve_time = time.perf_counter() - start_time
+                    return SolveResult(status="UNSAT", model=None,
+                                       stats=stats, core=[])
                 learned, backtrack_level, lbd = self._analyze(conflict)
                 self._backtrack(backtrack_level)
                 if len(learned) == 1:
                     self._enqueue(learned[0], -1)
                 else:
                     index = self._attach_clause(learned, lbd=lbd, learned=True)
-                    self.stats.learned_clauses += 1
+                    stats.learned_clauses += 1
                     self._enqueue(learned[0], index)
                 self._decay_activities()
-                if max_conflicts is not None and self.stats.conflicts >= max_conflicts:
-                    self.stats.solve_time = time.perf_counter() - start_time
-                    return SolveResult(status="UNKNOWN", model=None, stats=self.stats)
+                if max_conflicts is not None and \
+                        stats.conflicts - conflicts_start >= max_conflicts:
+                    stats.solve_time = time.perf_counter() - start_time
+                    return SolveResult(status="UNKNOWN", model=None, stats=stats)
                 if time_limit is not None and \
                         time.perf_counter() - start_time > time_limit:
-                    self.stats.solve_time = time.perf_counter() - start_time
-                    return SolveResult(status="UNKNOWN", model=None, stats=self.stats)
+                    stats.solve_time = time.perf_counter() - start_time
+                    return SolveResult(status="UNKNOWN", model=None, stats=stats)
                 continue
 
             if conflicts_until_restart <= 0:
                 restart_count += 1
-                self.stats.restarts += 1
+                stats.restarts += 1
                 conflicts_until_restart = self._next_restart_budget(restart_count)
                 self._backtrack(0)
                 if conflicts_since_reduce >= self.config.reduce_interval:
@@ -526,20 +696,44 @@ class CdclSolver:
                     self._reduce_database()
                 continue
 
-            if max_decisions is not None and self.stats.decisions >= max_decisions:
-                self.stats.solve_time = time.perf_counter() - start_time
-                return SolveResult(status="UNKNOWN", model=None, stats=self.stats)
+            if max_decisions is not None and \
+                    stats.decisions - decisions_start >= max_decisions:
+                stats.solve_time = time.perf_counter() - start_time
+                return SolveResult(status="UNKNOWN", model=None, stats=stats)
             if time_limit is not None and \
                     time.perf_counter() - start_time > time_limit:
-                self.stats.solve_time = time.perf_counter() - start_time
-                return SolveResult(status="UNKNOWN", model=None, stats=self.stats)
+                stats.solve_time = time.perf_counter() - start_time
+                return SolveResult(status="UNKNOWN", model=None, stats=stats)
+
+            # Assert the next pending assumption (restarts unwind them, so
+            # the decision level doubles as the next-assumption cursor).
+            asserted = False
+            while len(self._trail_lim) < len(assumption_lits):
+                literal = assumption_lits[len(self._trail_lim)]
+                value = self._lit_val[literal]
+                if value == _TRUE:
+                    # Already implied: open an empty level so the cursor
+                    # advances and backtracking semantics stay uniform.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == _FALSE:
+                    core = self._analyze_final(literal)
+                    stats.solve_time = time.perf_counter() - start_time
+                    return SolveResult(status="UNSAT", model=None,
+                                       stats=stats, core=core)
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(literal, -1)
+                asserted = True
+                break
+            if asserted:
+                continue
 
             if not self._decide():
                 lit_val = self._lit_val
                 model = {var + 1: lit_val[2 * var] == _TRUE
                          for var in range(self.num_vars)}
-                self.stats.solve_time = time.perf_counter() - start_time
-                return SolveResult(status="SAT", model=model, stats=self.stats)
+                stats.solve_time = time.perf_counter() - start_time
+                return SolveResult(status="SAT", model=model, stats=stats)
 
     def _next_restart_budget(self, restart_count: int) -> float:
         if self.config.restart_strategy == "none":
@@ -552,8 +746,9 @@ class CdclSolver:
 def solve_cnf(cnf: Cnf, config: SolverConfig | None = None,
               max_conflicts: int | None = None,
               max_decisions: int | None = None,
-              time_limit: float | None = None) -> SolveResult:
+              time_limit: float | None = None,
+              assumptions: list[int] | None = None) -> SolveResult:
     """Convenience wrapper: build a :class:`CdclSolver` and run it once."""
     solver = CdclSolver(cnf, config=config)
     return solver.solve(max_conflicts=max_conflicts, max_decisions=max_decisions,
-                        time_limit=time_limit)
+                        time_limit=time_limit, assumptions=assumptions)

@@ -20,18 +20,48 @@ from repro.synthesis.refactor import refactor
 from repro.synthesis.resub import resub
 from repro.synthesis.rewrite import rewrite
 
+def _fraig(aig: AIG) -> AIG:
+    """SAT-sweep the AIG (:func:`repro.aig.sweep.fraig`).
+
+    Imported lazily: the sweep engine sits on top of the CNF and SAT layers,
+    which themselves depend (through the LUT-to-CNF encoder) on this
+    package — an eager import here would close that cycle.
+    """
+    from repro.aig.sweep import fraig
+
+    return fraig(aig)
+
+
 #: Registry of the synthesis operations available as RL actions.  ``end`` is
-#: a pseudo-operation handled by the environment, not listed here.
+#: a pseudo-operation handled by the environment, not listed here.  ``fraig``
+#: (SAT sweeping) is registered as a recipe operation but kept out of
+#: :data:`ACTION_NAMES` so the RL action space — and trained agents — stay
+#: unchanged.
 OPERATIONS: dict[str, Callable[[AIG], AIG]] = {
     "rewrite": rewrite,
     "refactor": refactor,
     "balance": balance,
     "resub": resub,
     "cleanup": cleanup,
+    "fraig": _fraig,
+}
+
+#: ABC-style one-letter spellings accepted anywhere an operation is named.
+OPERATION_ALIASES: dict[str, str] = {
+    "f": "fraig",
+    "b": "balance",
+    "rw": "rewrite",
+    "rf": "refactor",
+    "rs": "resub",
 }
 
 #: The action names in the order used by the RL agent's discrete action space.
 ACTION_NAMES: tuple[str, ...] = ("rewrite", "refactor", "balance", "resub", "end")
+
+
+def canonical_operation(name: str) -> str:
+    """Resolve an operation name or alias to its registry spelling."""
+    return OPERATION_ALIASES.get(name, name)
 
 
 def operation_names() -> list[str]:
@@ -43,7 +73,7 @@ def apply_operation(aig: AIG, name: str) -> AIG:
     """Apply a single named operation to ``aig`` and return the new AIG."""
     if name == "end":
         return aig
-    operation = OPERATIONS.get(name)
+    operation = OPERATIONS.get(canonical_operation(name))
     if operation is None:
         raise SynthesisError(
             f"unknown synthesis operation {name!r}; "

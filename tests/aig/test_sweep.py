@@ -1,0 +1,161 @@
+"""SAT-sweeping tests (repro.aig.sweep).
+
+The backbone is differential: for every benchmark-generator family with at
+most 12 primary inputs, the swept AIG must be *exhaustively-simulation
+equivalent* to the original — every one of the ``2**num_pis`` input
+patterns produces identical primary outputs.  Soundness must also survive
+the stress paths: starved simulation (forcing counterexample refinement)
+and starved conflict budgets (forcing budgeted-out pairs).
+"""
+
+import pytest
+
+from repro.aig.simulate import po_truth_tables
+from repro.aig.sweep import SweepStats, fraig, sweep_aig
+from repro.benchgen.atpg import atpg_instance
+from repro.benchgen.datapath import (
+    array_multiplier,
+    carry_select_adder,
+    comparator,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.benchgen.lec import (
+    adder_equivalence_miter,
+    lec_instance,
+    multiplier_commutativity_miter,
+)
+from repro.benchgen.random_logic import random_aig
+from repro.synthesis.recipe import apply_operation, apply_recipe
+
+
+def _families():
+    """One representative instance per benchgen family, all with <= 12 PIs."""
+    return [
+        ("lec_adder_eq", adder_equivalence_miter(4)),
+        ("lec_adder_neq", adder_equivalence_miter(4, mutated=True, seed=2)),
+        ("lec_mult_eq", multiplier_commutativity_miter(3)),
+        ("lec_mult_neq", multiplier_commutativity_miter(3, mutated=True,
+                                                        seed=1)),
+        ("lec_generic", lec_instance(random_aig(9, 120, seed=4),
+                                     equivalent=True)),
+        ("datapath_adder", ripple_carry_adder(5)),
+        ("datapath_csel", carry_select_adder(5)),
+        ("datapath_mult", array_multiplier(4)),
+        ("datapath_cmp", comparator(6)),
+        ("datapath_mux", mux_tree(3)),
+        ("datapath_parity", parity_tree(10)),
+        ("random", random_aig(10, 150, seed=8)),
+        ("atpg", atpg_instance(random_aig(9, 100, seed=5), seed=3)),
+    ]
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("name,aig", _families(),
+                             ids=[name for name, _ in _families()])
+    def test_exhaustive_equivalence(self, name, aig):
+        assert aig.num_pis <= 12
+        result = sweep_aig(aig)
+        assert po_truth_tables(result.aig) == po_truth_tables(aig)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_starved_simulation_forces_refinement(self, seed):
+        # 64 patterns leave many false candidates; the counterexample loop
+        # must refute them without ever merging a non-equivalent pair.
+        aig = random_aig(12, 200, seed=seed)
+        result = sweep_aig(aig, num_patterns=64)
+        assert po_truth_tables(result.aig) == po_truth_tables(aig)
+
+    def test_refinement_path_is_exercised(self):
+        refuted = sum(sweep_aig(random_aig(12, 200, seed=seed),
+                                num_patterns=64).stats.refuted
+                      for seed in range(4))
+        assert refuted > 0
+
+    def test_starved_budget_stays_sound(self):
+        aig = multiplier_commutativity_miter(3)
+        result = sweep_aig(aig, conflict_budget=1)
+        assert result.stats.undecided > 0
+        assert po_truth_tables(result.aig) == po_truth_tables(aig)
+
+
+class TestSweepBehaviour:
+    def test_equivalence_miter_collapses_to_constant(self):
+        result = sweep_aig(multiplier_commutativity_miter(3))
+        assert result.aig.num_ands == 0      # PO becomes constant false
+        assert result.stats.merges > 0
+        assert result.stats.refuted == 0
+
+    def test_interface_is_preserved(self):
+        aig = adder_equivalence_miter(4)
+        result = sweep_aig(aig)
+        assert result.aig.num_pis == aig.num_pis
+        assert result.aig.num_pos == aig.num_pos
+        assert result.aig.pi_names == aig.pi_names
+        assert result.aig.po_names == aig.po_names
+
+    def test_never_grows(self):
+        for seed in range(3):
+            aig = random_aig(10, 150, seed=seed)
+            result = sweep_aig(aig)
+            assert result.aig.num_ands <= aig.num_ands
+
+    def test_deterministic(self):
+        first = sweep_aig(multiplier_commutativity_miter(3)).stats.as_dict()
+        second = sweep_aig(multiplier_commutativity_miter(3)).stats.as_dict()
+        first.pop("sweep_time")
+        second.pop("sweep_time")
+        assert first == second
+
+    def test_stats_consistency(self):
+        stats = sweep_aig(multiplier_commutativity_miter(3)).stats
+        assert isinstance(stats, SweepStats)
+        assert stats.sat_calls == stats.proved + stats.refuted + stats.undecided
+        assert stats.merges == stats.proved
+        assert stats.const_merges <= stats.merges
+        assert set(stats.as_dict()) >= {"nodes_before", "nodes_after",
+                                        "sat_calls", "merges", "sweep_time"}
+
+    def test_early_return_stats_match_cleaned_output(self):
+        from repro.aig.aig import AIG
+
+        # A dangling AND node and no candidate classes: the early-return
+        # path must report the node count of the *cleaned* output AIG.
+        aig = AIG(name="dangling")
+        first = aig.add_pi("a")
+        second = aig.add_pi("b")
+        aig.add_and(first, second)   # not in any PO cone
+        aig.add_po(first, "out")
+        result = sweep_aig(aig)
+        assert result.aig.num_ands == 0
+        assert result.stats.nodes_after == result.aig.num_ands
+
+    def test_no_and_nodes_is_a_noop(self):
+        from repro.aig.aig import AIG
+
+        aig = AIG(name="wires")
+        literal = aig.add_pi("a")
+        aig.add_po(literal, "out")
+        result = sweep_aig(aig)
+        assert result.stats.sat_calls == 0
+        assert po_truth_tables(result.aig) == po_truth_tables(aig)
+
+
+class TestFraigRecipeOperation:
+    def test_fraig_registered_with_alias(self):
+        aig = multiplier_commutativity_miter(3)
+        by_name = apply_operation(aig, "fraig")
+        by_alias = apply_operation(aig, "f")
+        assert by_name.num_ands == by_alias.num_ands == 0
+        assert po_truth_tables(by_name) == po_truth_tables(aig)
+
+    def test_fraig_inside_recipe(self):
+        aig = lec_instance(random_aig(9, 120, seed=6), equivalent=True)
+        swept = apply_recipe(aig, ["balance", "rewrite", "fraig"])
+        assert po_truth_tables(swept) == po_truth_tables(aig)
+        assert swept.num_ands <= aig.num_ands
+
+    def test_fraig_wrapper(self):
+        aig = multiplier_commutativity_miter(3)
+        assert fraig(aig).num_ands == 0

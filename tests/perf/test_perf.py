@@ -63,7 +63,7 @@ class TestCli:
                           "--filter", "sim_exhaustive", "--out", str(out)])
         assert exit_code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["mode"] == "quick"
         assert "sim_exhaustive" in payload["benchmarks"]
         entry = payload["benchmarks"]["sim_exhaustive"]

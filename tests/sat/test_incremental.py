@@ -1,0 +1,236 @@
+"""Incremental-interface tests: assumptions, cores, add_clause/new_var.
+
+The differential class is the load-bearing one: ``solve(assumptions=...)``
+must agree with solving the assumption-augmented CNF from scratch on 100
+random instances, and every reported final-conflict core must itself be
+unsatisfiable when re-asserted.
+"""
+
+import random
+
+import pytest
+
+from repro.benchgen.random_logic import pigeonhole_cnf, random_cnf
+from repro.cnf import Cnf
+from repro.errors import SolverError
+from repro.sat.configs import SolverConfig, cadical_like, kissat_like
+from repro.sat.solver import CdclSolver, solve_cnf
+
+
+def _chain_cnf() -> Cnf:
+    """x1 -> x2 -> x3 (free variables, implications only)."""
+    cnf = Cnf(3)
+    cnf.add_clause([-1, 2])
+    cnf.add_clause([-2, 3])
+    return cnf
+
+
+class TestAssumptions:
+    def test_sat_under_assumptions_propagates_them(self):
+        solver = CdclSolver(_chain_cnf())
+        result = solver.solve(assumptions=[1])
+        assert result.is_sat
+        assert result.model[1] and result.model[2] and result.model[3]
+        assert result.core is None
+
+    def test_unsat_under_assumptions_reports_core(self):
+        solver = CdclSolver(_chain_cnf())
+        result = solver.solve(assumptions=[1, -3])
+        assert result.is_unsat
+        assert set(result.core) == {1, -3}
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        cnf = Cnf(4)
+        cnf.add_clause([-1, 2])
+        solver = CdclSolver(cnf)
+        result = solver.solve(assumptions=[4, 1, -2])
+        assert result.is_unsat
+        assert 4 not in result.core
+        assert set(result.core) <= {1, -2}
+
+    def test_contradictory_assumptions(self):
+        solver = CdclSolver(_chain_cnf())
+        result = solver.solve(assumptions=[2, -2])
+        assert result.is_unsat
+        assert set(result.core) == {2, -2}
+
+    def test_duplicate_assumptions_are_harmless(self):
+        solver = CdclSolver(_chain_cnf())
+        result = solver.solve(assumptions=[1, 1, 3, 3])
+        assert result.is_sat
+
+    def test_solver_reusable_after_assumption_unsat(self):
+        solver = CdclSolver(_chain_cnf())
+        assert solver.solve(assumptions=[1, -3]).is_unsat
+        assert solver.solve(assumptions=[-1]).is_sat
+        assert solver.solve().is_sat
+
+    def test_formula_level_unsat_has_empty_core(self):
+        cnf = Cnf(1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        result = CdclSolver(cnf).solve(assumptions=[1])
+        assert result.is_unsat
+        assert result.core == []
+
+    def test_assumption_out_of_range_raises(self):
+        solver = CdclSolver(_chain_cnf())
+        with pytest.raises(SolverError):
+            solver.solve(assumptions=[99])
+
+    def test_solve_cnf_wrapper_accepts_assumptions(self):
+        result = solve_cnf(_chain_cnf(), assumptions=[1, -3])
+        assert result.is_unsat and set(result.core) == {1, -3}
+
+
+class TestIncrementalGrowth:
+    def test_new_var_returns_next_dimacs_index(self):
+        solver = CdclSolver(_chain_cnf())
+        assert solver.new_var() == 4
+        assert solver.new_var() == 5
+        solver.add_clause([4, 5])
+        result = solver.solve(assumptions=[-4])
+        assert result.is_sat and result.model[5]
+
+    def test_add_clause_between_solves(self):
+        solver = CdclSolver(_chain_cnf())
+        assert solver.solve(assumptions=[-3]).is_sat
+        assert solver.add_clause([1]) is True   # forces x1 -> x3
+        result = solver.solve(assumptions=[-3])
+        assert result.is_unsat and set(result.core) == {-3}
+
+    def test_add_clause_inconsistency_is_permanent(self):
+        solver = CdclSolver(_chain_cnf())
+        assert solver.add_clause([1]) is True
+        assert solver.add_clause([-3]) is False  # 1 -> 3 contradicts -3
+        result = solver.solve()
+        assert result.is_unsat and result.core == []
+        assert solver.add_clause([2]) is False
+
+    def test_add_tautology_is_noop(self):
+        solver = CdclSolver(_chain_cnf())
+        assert solver.add_clause([1, -1]) is True
+        assert solver.solve(assumptions=[-1]).is_sat
+
+    def test_add_clause_after_sat_model(self):
+        solver = CdclSolver(_chain_cnf())
+        first = solver.solve()
+        assert first.is_sat
+        # Block the returned model, ask again: a fresh model must appear.
+        blocking = [(-var if value else var)
+                    for var, value in first.model.items()]
+        assert solver.add_clause(blocking) is True
+        second = solver.solve()
+        assert second.is_sat
+        assert second.model != first.model
+
+    def test_model_enumeration_terminates(self):
+        cnf = Cnf(3)
+        cnf.add_clause([1, 2, 3])
+        solver = CdclSolver(cnf)
+        models = []
+        while True:
+            result = solver.solve()
+            if not result.is_sat:
+                break
+            models.append(tuple(sorted(result.model.items())))
+            solver.add_clause([(-var if value else var)
+                               for var, value in result.model.items()])
+        assert len(set(models)) == 7  # all assignments but all-false
+
+    def test_per_call_conflict_budget(self):
+        # The budget must apply per call, not against cumulative stats:
+        # a second call with the same budget must still do real work.
+        cnf = pigeonhole_cnf(4)
+        solver = CdclSolver(cnf)
+        first = solver.solve(max_conflicts=10)
+        assert first.status == "UNKNOWN"
+        second = solver.solve(max_conflicts=10)
+        assert second.status in ("UNKNOWN", "UNSAT")
+        assert solver.stats.conflicts >= 15  # both calls consumed budget
+
+
+class TestPersistence:
+    def test_learned_clauses_and_stats_accumulate(self):
+        cnf = random_cnf(60, 255, seed=5, min_width=3, max_width=3)
+        solver = CdclSolver(cnf)
+        first = solver.solve(assumptions=[1, 2, 3])
+        conflicts_after_first = solver.stats.conflicts
+        second = solver.solve(assumptions=[1, 2, 3])
+        assert second.status == first.status
+        # Cumulative counters never reset across calls.
+        assert solver.stats.conflicts >= conflicts_after_first
+
+    def test_repeat_query_is_cheaper(self):
+        # Same query twice: learned clauses + phases make the re-run take
+        # no more conflicts than the first run.
+        cnf = random_cnf(80, 336, seed=11, min_width=3, max_width=3)
+        solver = CdclSolver(cnf)
+        solver.solve(assumptions=[5, -17, 23])
+        first_conflicts = solver.stats.conflicts
+        solver.solve(assumptions=[5, -17, 23])
+        second_conflicts = solver.stats.conflicts - first_conflicts
+        assert second_conflicts <= first_conflicts
+
+
+class TestDifferentialAssumptions:
+    def test_assumptions_agree_with_augmented_cnf_100_instances(self):
+        rng = random.Random(0)
+        for trial in range(100):
+            num_vars = rng.randint(5, 30)
+            num_clauses = int(num_vars * rng.uniform(2.0, 5.0))
+            base = random_cnf(num_vars, num_clauses, seed=trial)
+            assumptions = [rng.choice([1, -1]) * rng.randint(1, num_vars)
+                           for _ in range(rng.randint(0, 6))]
+            augmented = base.copy()
+            for literal in assumptions:
+                augmented.add_clause([literal])
+            assumed = solve_cnf(base, assumptions=assumptions)
+            rebuilt = solve_cnf(augmented)
+            assert assumed.status == rebuilt.status, \
+                (trial, assumptions, assumed.status, rebuilt.status)
+            if assumed.is_sat:
+                assert augmented.evaluate(assumed.model), trial
+            elif assumed.core:
+                assert set(assumed.core) <= {literal for literal
+                                             in assumptions}, trial
+                core_only = base.copy()
+                for literal in assumed.core:
+                    core_only.add_clause([literal])
+                assert solve_cnf(core_only).is_unsat, (trial, assumed.core)
+
+
+class TestConfigDefaults:
+    """Phase saving and Luby restarts are the default solver behaviour."""
+
+    def test_default_config_knobs(self):
+        config = SolverConfig()
+        assert config.phase_saving is True
+        assert config.restart_strategy == "luby"
+        assert kissat_like().phase_saving is True
+        assert cadical_like().phase_saving is True
+
+    def test_restart_counter_increments(self):
+        config = SolverConfig(restart_interval=5)
+        result = solve_cnf(pigeonhole_cnf(5), config=config)
+        assert result.is_unsat
+        assert result.stats.restarts > 0
+
+    def test_no_restarts_when_disabled(self):
+        config = SolverConfig(restart_strategy="none")
+        result = solve_cnf(pigeonhole_cnf(4), config=config)
+        assert result.is_unsat
+        assert result.stats.restarts == 0
+
+
+class TestRandomDecisions:
+    def test_random_decisions_are_seeded_and_sound(self):
+        cnf = random_cnf(40, 160, seed=3, min_width=3, max_width=3)
+        config = SolverConfig(random_decision_freq=0.3, seed=7)
+        first = solve_cnf(cnf, config=config)
+        second = solve_cnf(cnf, config=config)
+        reference = solve_cnf(cnf)
+        assert first.status == second.status == reference.status
+        assert first.stats.decisions == second.stats.decisions
+        if first.is_sat:
+            assert cnf.evaluate(first.model)
