@@ -28,6 +28,7 @@ from repro.benchgen.lec import (
     adder_equivalence_miter,
     build_miter,
     lec_instance,
+    corner_case_miter,
     multiplier_commutativity_miter,
     mutate_aig,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "lec_instance",
     "mutate_aig",
     "adder_equivalence_miter",
+    "corner_case_miter",
     "multiplier_commutativity_miter",
     "atpg_instance",
     "inject_stuck_at",

@@ -146,6 +146,34 @@ def multiplier_commutativity_miter(width: int, mutated: bool = False,
     return build_miter(first, swapped, name=f"lec_mult{width}_commut_{kind}_s{seed}")
 
 
+def corner_case_miter(width: int, seed: int = 0) -> AIG:
+    """A hard *satisfiable* LEC miter: the bug fires on exactly one pattern.
+
+    Starts from the (UNSAT) multiplier commutativity miter and adds a second
+    primary output that is 1 only for one secret input assignment — the AND
+    of all primary inputs in seed-chosen polarities.  Under the CSAT "any
+    output" convention the instance is satisfiable with a *single* solution:
+    the classic needle-in-a-haystack shape of a real LEC failure caused by a
+    one-corner-case bug.  CDCL runtimes on this family are heavy-tailed —
+    they depend on how quickly the heuristics stumble into the needle's
+    region, which varies wildly with phase/seed/restart choices — making it
+    the canonical workload where portfolio racing beats any fixed
+    configuration.
+    """
+    miter = multiplier_commutativity_miter(width)
+    rng = np.random.default_rng(seed)
+    literals = []
+    for pi_var in miter.pis:
+        literal = pi_var * 2
+        literals.append(literal if rng.random() < 0.5 else lit_not(literal))
+    needle = literals[0]
+    for literal in literals[1:]:
+        needle = miter.add_and(needle, literal)
+    miter.add_po(needle, "corner")
+    miter.name = f"lec_mult{width}_corner_s{seed}"
+    return miter
+
+
 def lec_instance(circuit: AIG, equivalent: bool, seed: int = 0,
                  recipe: tuple[str, ...] = ("balance", "rewrite")) -> AIG:
     """Build a LEC CSAT instance from ``circuit``.

@@ -25,8 +25,11 @@ from repro.core.pipeline import PIPELINES
 from repro.errors import ReproError
 from repro.sat.backends import (
     BACKEND_NAMES,
+    PortfolioBackend,
     available_backends,
     ensure_available,
+    fold_portfolio_flags,
+    get_backend,
     resolve_backend,
 )
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
@@ -183,7 +186,18 @@ def _write_json(payload: dict, destination: str) -> None:
 def cmd_solve(args: argparse.Namespace) -> int:
     kind, instance = load_input(args.file)
     config = CONFIG_PRESETS[args.config]()
-    backend = resolve_backend(args.backend, binary=args.solver_binary)
+    # --portfolio/--cube-depth fold into the portfolio backend; the shared
+    # helper owns the validation rules for both this CLI and the runner's.
+    backend_name, backend_kwargs = fold_portfolio_flags(
+        args.backend, args.portfolio, args.cube_depth)
+    if backend_kwargs:
+        if args.solver_binary is not None:
+            raise CliError(
+                "--solver-binary does not apply to --portfolio/--cube-depth "
+                "(the portfolio races the internal solver)")
+        backend = get_backend(backend_name, **backend_kwargs)
+    else:
+        backend = resolve_backend(backend_name, binary=args.solver_binary)
     # Fail fast on a missing external binary — before the (potentially
     # minutes-long) preprocessing pipeline runs, not after.
     ensure_available(backend)
@@ -215,12 +229,41 @@ def cmd_solve(args: argparse.Namespace) -> int:
              quiet)
     _comment(f"backend {backend.name} (config {config.name}, "
              f"time limit {args.time_limit})", quiet)
+    if isinstance(backend, PortfolioBackend):
+        mode = (f"cube-and-conquer depth {backend.cube_depth}"
+                if backend.cube_depth else "racing portfolio")
+        _comment(f"portfolio: {backend.num_workers} workers, {mode}", quiet)
 
     start = time.perf_counter()
-    result = backend.solve(cnf, config=config, time_limit=args.time_limit,
-                           max_conflicts=args.max_conflicts,
-                           max_decisions=args.max_decisions)
+    portfolio_report = None
+    if isinstance(backend, PortfolioBackend):
+        portfolio_report = backend.solve_detailed(
+            cnf, config=config, time_limit=args.time_limit,
+            max_conflicts=args.max_conflicts,
+            max_decisions=args.max_decisions)
+        result = portfolio_report.result
+    else:
+        result = backend.solve(cnf, config=config, time_limit=args.time_limit,
+                               max_conflicts=args.max_conflicts,
+                               max_decisions=args.max_decisions)
     solve_time = time.perf_counter() - start
+
+    if portfolio_report is not None:
+        for worker in portfolio_report.workers:
+            detail = ""
+            if worker.stats is not None:
+                detail = (f" decisions {worker.stats.decisions} "
+                          f"conflicts {worker.stats.conflicts}")
+            if portfolio_report.mode == "cube":
+                detail += f" cubes {worker.cubes_solved}"
+            _comment(f"worker {worker.index} [{worker.config_name}]: "
+                     f"{worker.status} in {worker.solve_time:.3f} s{detail}",
+                     quiet)
+        if portfolio_report.mode == "cube":
+            _comment(f"cube split: {portfolio_report.num_cubes} cubes on "
+                     f"variables {portfolio_report.cube_variables}", quiet)
+        if portfolio_report.winner is not None:
+            _comment(f"winner: {portfolio_report.winner}", quiet)
 
     stats = result.stats
     _comment(f"decisions {stats.decisions} conflicts {stats.conflicts} "
@@ -253,6 +296,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
             "model": ({str(var): value for var, value in result.model.items()}
                       if result.is_sat and not args.no_model else None),
         }
+        if portfolio_report is not None:
+            payload["portfolio"] = portfolio_report.as_dict()
         _write_json(payload, args.json)
     return EXIT_CODES.get(result.status, 0)
 
@@ -431,6 +476,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "real binary on PATH (default: internal)")
     solve.add_argument("--solver-binary", default=None, metavar="PATH",
                        help="explicit executable for the external backend")
+    solve.add_argument("--portfolio", type=int, default=None, metavar="N",
+                       help="race N diversified internal solver "
+                            "configurations in parallel processes; the "
+                            "first SAT/UNSAT verdict wins")
+    solve.add_argument("--cube-depth", type=int, default=None, metavar="K",
+                       help="cube-and-conquer: split the formula into 2^K "
+                            "cubes on high-occurrence variables and conquer "
+                            "them on incremental portfolio workers "
+                            "(combine with --portfolio N for the worker "
+                            "count, default 4)")
     solve.add_argument("--config", default="kissat_like",
                        choices=sorted(CONFIG_PRESETS),
                        help="internal-solver preset (default: kissat_like)")

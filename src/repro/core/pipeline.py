@@ -123,7 +123,8 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
                  max_conflicts: int | None = None,
                  max_decisions: int | None = None,
                  pipeline_kwargs: dict | None = None,
-                 backend: str | SolverBackend | None = None) -> InstanceRun:
+                 backend: str | SolverBackend | None = None,
+                 backend_kwargs: dict | None = None) -> InstanceRun:
     """Preprocess ``instance_aig`` with ``pipeline`` and solve the result.
 
     ``pipeline_kwargs`` are forwarded to the pipeline's encoder, so named
@@ -135,7 +136,10 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
     default (``None`` / ``"internal"``) is the built-in CDCL solver; a name
     like ``"kissat"`` dispatches to the real external binary through
     :mod:`repro.sat.backends` (raising
-    :class:`repro.errors.BackendUnavailableError` when it is not installed).
+    :class:`repro.errors.BackendUnavailableError` when it is not installed);
+    ``"portfolio"`` races diversified internal solvers across processes,
+    configured through ``backend_kwargs`` (``num_workers``, ``cube_depth``,
+    ...) — the options stay plain data so tasks remain picklable.
     """
     if isinstance(pipeline, str):
         encode = PIPELINES[pipeline]
@@ -144,7 +148,7 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
         encode = pipeline
         pipeline_name = getattr(pipeline, "__name__", "custom")
     cnf, transform_time = encode(instance_aig, **(pipeline_kwargs or {}))
-    result: SolveResult = resolve_backend(backend).solve(
+    result: SolveResult = resolve_backend(backend, **(backend_kwargs or {})).solve(
         cnf, config=config, time_limit=time_limit,
         max_conflicts=max_conflicts, max_decisions=max_decisions,
     )

@@ -97,6 +97,7 @@ def execute_task(task: Task) -> InstanceRun:
                 time_limit=task.time_limit,
                 pipeline_kwargs=task.pipeline_kwargs,
                 backend=task.backend,
+                backend_kwargs=task.backend_kwargs,
             )
         finally:
             disarm()

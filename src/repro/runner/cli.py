@@ -22,10 +22,16 @@ from repro.benchgen.suite import (
     generate_training_suite,
 )
 from repro.core.pipeline import PIPELINES
+from repro.errors import BackendError
 from repro.runner.batch import BatchRunner
 from repro.runner.store import ResultStore
 from repro.runner.task import Task
-from repro.sat.backends import BACKEND_NAMES, get_backend, is_internal
+from repro.sat.backends import (
+    BACKEND_NAMES,
+    fold_portfolio_flags,
+    get_backend,
+    is_internal,
+)
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
 
 #: Suite name -> (generator, default seed); sizes come from ``--size``.
@@ -69,8 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", choices=sorted(set(BACKEND_NAMES)),
                         default="internal",
                         help="solver backend: the built-in CDCL solver "
-                             "(internal) or a real external binary found on "
-                             "PATH (default: internal)")
+                             "(internal), the parallel portfolio harness "
+                             "(portfolio) or a real external binary found "
+                             "on PATH (default: internal)")
+    parser.add_argument("--portfolio", type=_positive_int, default=None,
+                        metavar="N",
+                        help="race N diversified internal solvers per task "
+                             "(implies --backend portfolio)")
+    parser.add_argument("--cube-depth", type=int, default=None, metavar="K",
+                        help="cube-and-conquer: split each task's CNF into "
+                             "2^K cubes conquered by the portfolio workers "
+                             "(implies --backend portfolio)")
     parser.add_argument("--time-limit", type=float, default=60.0,
                         help="per-instance soft solver limit in seconds "
                              "(default: 60; <= 0 disables)")
@@ -91,7 +106,8 @@ def build_tasks(instances: list[CsatInstance], pipelines: list[str],
                 config: SolverConfig, time_limit: float | None,
                 hard_timeout: float | None,
                 lut_size: int | None = None,
-                backend: str = "internal") -> list[Task]:
+                backend: str = "internal",
+                backend_kwargs: dict | None = None) -> list[Task]:
     """Expand a suite x pipeline grid into runner tasks."""
     tasks = []
     for instance in instances:
@@ -102,7 +118,7 @@ def build_tasks(instances: list[CsatInstance], pipelines: list[str],
             tasks.append(Task.from_instance(
                 instance, name, pipeline_kwargs=kwargs, config=config,
                 time_limit=time_limit, hard_timeout=hard_timeout,
-                backend=backend,
+                backend=backend, backend_kwargs=backend_kwargs,
             ))
     return tasks
 
@@ -116,23 +132,34 @@ def main(argv: list[str] | None = None) -> int:
     config = SOLVER_PRESETS[args.solver]()
     time_limit = args.time_limit if args.time_limit and args.time_limit > 0 else None
 
-    if not is_internal(args.backend):
-        probe = get_backend(args.backend)
+    try:
+        backend, backend_kwargs = fold_portfolio_flags(
+            args.backend, args.portfolio, args.cube_depth)
+    except BackendError as error:
+        print(f"error: {error}")
+        return 2
+
+    if not is_internal(backend):
+        probe = get_backend(backend, **backend_kwargs)
         if not probe.available():
-            print(f"error: solver backend {args.backend!r} is not available "
+            print(f"error: solver backend {backend!r} is not available "
                   f"on this machine (no binary on PATH)")
             return 2
 
     store_path = args.store
     if store_path is None:
-        suffix = "" if is_internal(args.backend) else f"_{args.backend}"
+        suffix = "" if is_internal(backend) else f"_{backend}"
+        if backend_kwargs.get("num_workers"):
+            suffix += f"_w{backend_kwargs['num_workers']}"
+        if backend_kwargs.get("cube_depth"):
+            suffix += f"_cube{backend_kwargs['cube_depth']}"
         store_path = Path("results") / (
             f"{args.suite}_size{args.size}_seed{seed}_{args.solver}{suffix}.jsonl")
     store = ResultStore(store_path)
 
     tasks = build_tasks(instances, args.pipelines, config, time_limit,
                         args.hard_timeout, lut_size=args.lut_size,
-                        backend=args.backend)
+                        backend=backend, backend_kwargs=backend_kwargs)
     print(f"Suite {args.suite!r}: {len(instances)} instances x "
           f"{len(args.pipelines)} pipelines = {len(tasks)} tasks "
           f"({args.jobs} jobs, store {store_path})")

@@ -46,7 +46,10 @@ class Task:
     aggregation (e.g. the Fig. 5 setting name) without affecting the
     fingerprint of the underlying computation.  ``backend`` names the solver
     backend (:mod:`repro.sat.backends`) — backends travel by name, never as
-    objects, so tasks stay picklable and JSON-stable.
+    objects, so tasks stay picklable and JSON-stable.  ``backend_kwargs``
+    carries the backend's plain-data options (the portfolio backend's
+    ``num_workers``/``cube_depth``) and participates in the fingerprint,
+    since e.g. a different cube depth is a different computation.
     """
 
     instance_name: str
@@ -58,6 +61,7 @@ class Task:
     hard_timeout: float | None = None
     group: str = ""
     backend: str = "internal"
+    backend_kwargs: dict = field(default_factory=dict)
 
     _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
@@ -67,13 +71,15 @@ class Task:
                       config: SolverConfig | None = None,
                       time_limit: float | None = None,
                       hard_timeout: float | None = None,
-                      group: str = "", backend: str = "internal") -> "Task":
+                      group: str = "", backend: str = "internal",
+                      backend_kwargs: dict | None = None) -> "Task":
         """Build a task from a generated suite instance."""
         return cls.from_aig(instance.aig, pipeline,
                             instance_name=instance.name,
                             pipeline_kwargs=pipeline_kwargs, config=config,
                             time_limit=time_limit, hard_timeout=hard_timeout,
-                            group=group, backend=backend)
+                            group=group, backend=backend,
+                            backend_kwargs=backend_kwargs)
 
     @classmethod
     def from_aig(cls, aig: AIG, pipeline: str, instance_name: str = "",
@@ -81,7 +87,8 @@ class Task:
                  config: SolverConfig | None = None,
                  time_limit: float | None = None,
                  hard_timeout: float | None = None,
-                 group: str = "", backend: str = "internal") -> "Task":
+                 group: str = "", backend: str = "internal",
+                 backend_kwargs: dict | None = None) -> "Task":
         """Build a task from an in-memory AIG (serialised on the spot).
 
         Serialisation normalises the circuit: AIGER requires dense variable
@@ -101,6 +108,7 @@ class Task:
             hard_timeout=hard_timeout,
             group=group,
             backend=backend,
+            backend_kwargs=dict(backend_kwargs or {}),
         )
 
     @property
@@ -141,6 +149,11 @@ class Task:
                 # result-store caches) from before backends existed stay
                 # valid; a non-default backend is a different computation.
                 payload["backend"] = self.backend
+            if self.backend_kwargs:
+                # Same rationale: only non-default backend options split the
+                # cache key (a different worker count or cube depth is a
+                # different computation; absent options keep old caches).
+                payload["backend_kwargs"] = self.backend_kwargs
             try:
                 text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
             except TypeError as error:

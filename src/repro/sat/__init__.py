@@ -14,11 +14,18 @@ the paper's evaluation (Fig. 4a and Fig. 4c).  When the *real* solvers are
 installed, :mod:`repro.sat.backends` dispatches to them through DIMACS
 subprocesses instead — ``get_backend("kissat")`` et al. — behind the same
 :class:`repro.sat.solver.SolveResult` interface.
+
+:mod:`repro.sat.portfolio` turns the sequential core into a multicore
+solver: :func:`solve_portfolio` races diversified configurations across
+processes and :func:`solve_cube_and_conquer` splits the formula into cubes
+conquered by incremental workers; ``get_backend("portfolio")`` exposes both
+behind the common backend protocol.
 """
 
 from repro.sat.backends import (
     BACKEND_NAMES,
     InternalBackend,
+    PortfolioBackend,
     SolverBackend,
     SubprocessBackend,
     available_backends,
@@ -27,6 +34,12 @@ from repro.sat.backends import (
 )
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
 from repro.sat.dpll import dpll_solve
+from repro.sat.portfolio import (
+    PortfolioResult,
+    diversified_configs,
+    solve_cube_and_conquer,
+    solve_portfolio,
+)
 from repro.sat.solver import CdclSolver, SolveResult, solve_cnf
 from repro.sat.stats import SolverStats
 
@@ -42,6 +55,11 @@ __all__ = [
     "SolverBackend",
     "InternalBackend",
     "SubprocessBackend",
+    "PortfolioBackend",
+    "PortfolioResult",
+    "diversified_configs",
+    "solve_portfolio",
+    "solve_cube_and_conquer",
     "BACKEND_NAMES",
     "get_backend",
     "resolve_backend",

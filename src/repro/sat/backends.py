@@ -15,7 +15,13 @@ are provided:
   ``s``/``v`` output lines back into a unified :class:`SolveResult`, and
   best-effort-recovers the decision/conflict/propagation counters from the
   solver's statistics output so the paper's "variable branching times"
-  metric stays populated.
+  metric stays populated;
+* :class:`PortfolioBackend` — multicore solving on the internal CDCL core
+  through :mod:`repro.sat.portfolio`: either a racing portfolio of
+  diversified configurations (first decisive worker wins, losers are
+  cancelled) or, with ``cube_depth > 0``, cube-and-conquer splitting over
+  incremental workers.  Always available; the verdict is deterministic but
+  the winning worker's model/statistics may vary run to run.
 
 Backends are addressed by name through :func:`get_backend`; external
 binaries are auto-detected on PATH and a missing one raises a clean
@@ -46,10 +52,12 @@ __all__ = [
     "SolverBackend",
     "InternalBackend",
     "SubprocessBackend",
+    "PortfolioBackend",
     "BACKEND_NAMES",
     "INTERNAL_NAMES",
     "DEFAULT_BACKEND",
     "is_internal",
+    "fold_portfolio_flags",
     "get_backend",
     "resolve_backend",
     "ensure_available",
@@ -323,13 +331,95 @@ class SubprocessBackend:
         return f"SubprocessBackend({self.name!r}, binary={self._binary!r})"
 
 
+class PortfolioBackend:
+    """Multicore solving on the internal CDCL core.
+
+    With ``cube_depth == 0`` (the default) every :meth:`solve` races
+    ``num_workers`` diversified configurations
+    (:func:`repro.sat.portfolio.solve_portfolio`); the ``config`` argument
+    seeds the diversification as worker 0's anchor.  With ``cube_depth > 0``
+    the formula is split into ``2**cube_depth`` cubes conquered by
+    ``num_workers`` incremental sessions
+    (:func:`repro.sat.portfolio.solve_cube_and_conquer`).
+
+    The backend satisfies the :class:`SolverBackend` protocol, so it threads
+    through pipelines, tasks and CLIs like any other backend.  Callers that
+    want the per-worker breakdown (the CLI's ``c worker`` lines, the perf
+    suite) use :meth:`solve_detailed`, which returns the full
+    :class:`repro.sat.portfolio.PortfolioResult`.  In cube mode
+    ``max_conflicts``/``max_decisions`` are per-cube budgets.
+    """
+
+    name = "portfolio"
+
+    def __init__(self, num_workers: int | None = None, cube_depth: int = 0,
+                 seed: int = 0, heuristic: str = "occurrence") -> None:
+        from repro.sat.portfolio import DEFAULT_NUM_WORKERS, MAX_CUBE_DEPTH
+
+        if num_workers is None:
+            num_workers = DEFAULT_NUM_WORKERS
+        if num_workers < 1:
+            raise BackendError("portfolio backend needs at least one worker")
+        if not 0 <= cube_depth <= MAX_CUBE_DEPTH:
+            raise BackendError(
+                f"cube_depth must lie in [0, {MAX_CUBE_DEPTH}], "
+                f"got {cube_depth}")
+        self.num_workers = num_workers
+        self.cube_depth = cube_depth
+        self.seed = seed
+        self.heuristic = heuristic
+
+    def available(self) -> bool:
+        return True
+
+    def solve_detailed(self, cnf: Cnf, config: SolverConfig | None = None,
+                       time_limit: float | None = None,
+                       max_conflicts: int | None = None,
+                       max_decisions: int | None = None,
+                       assumptions: list[int] | None = None):
+        """Solve and return the full :class:`PortfolioResult`."""
+        from repro.sat.portfolio import solve_cube_and_conquer, solve_portfolio
+
+        seed = self.seed + (config.seed if config is not None else 0)
+        if self.cube_depth > 0:
+            return solve_cube_and_conquer(
+                cnf, cube_depth=self.cube_depth,
+                num_workers=self.num_workers, config=config,
+                heuristic=self.heuristic, seed=seed, time_limit=time_limit,
+                max_conflicts=max_conflicts, max_decisions=max_decisions,
+                assumptions=assumptions)
+        return solve_portfolio(
+            cnf, num_workers=self.num_workers, base_config=config,
+            seed=seed, time_limit=time_limit, max_conflicts=max_conflicts,
+            max_decisions=max_decisions, assumptions=assumptions)
+
+    def solve(self, cnf: Cnf, config: SolverConfig | None = None,
+              time_limit: float | None = None,
+              max_conflicts: int | None = None,
+              max_decisions: int | None = None,
+              assumptions: list[int] | None = None) -> SolveResult:
+        return self.solve_detailed(
+            cnf, config=config, time_limit=time_limit,
+            max_conflicts=max_conflicts, max_decisions=max_decisions,
+            assumptions=assumptions).result
+
+    def __repr__(self) -> str:
+        return (f"PortfolioBackend(num_workers={self.num_workers}, "
+                f"cube_depth={self.cube_depth})")
+
+
 #: Names resolving to the built-in solver (one definition for every CLI).
 INTERNAL_NAMES = ("internal", "cdcl")
 
+#: The parallel portfolio / cube-and-conquer backend name.
+PORTFOLIO_NAME = "portfolio"
+
 #: The backend registry: every name accepted by ``--backend`` flags.
-#: ``internal`` (alias ``cdcl``) is the built-in solver; the rest are the
-#: external solvers of the paper's evaluation.
-BACKEND_NAMES = INTERNAL_NAMES + ("kissat", "cadical", "minisat")
+#: ``internal`` (alias ``cdcl``) is the built-in solver, ``portfolio`` its
+#: parallel harness; the rest are the external solvers of the paper's
+#: evaluation.
+BACKEND_NAMES = INTERNAL_NAMES + (PORTFOLIO_NAME, "kissat", "cadical",
+                                  "minisat")
 
 
 def is_internal(name: str) -> bool:
@@ -337,19 +427,63 @@ def is_internal(name: str) -> bool:
     return name in INTERNAL_NAMES
 
 
-def get_backend(name: str, binary: str | None = None) -> SolverBackend:
+def get_backend(name: str, binary: str | None = None,
+                **kwargs) -> SolverBackend:
     """Build the backend called ``name``.
 
-    ``internal`` / ``cdcl`` return the built-in solver; any other name
+    ``internal`` / ``cdcl`` return the built-in solver; ``portfolio``
+    returns a :class:`PortfolioBackend` (``kwargs`` — ``num_workers``,
+    ``cube_depth``, ``seed``, ``heuristic`` — configure it); any other name
     returns a :class:`SubprocessBackend` for that solver binary (``binary``
     overrides PATH lookup).  Construction never probes the machine — a
     missing external binary only fails once the backend solves (or
     :func:`ensure_available` is called), so backends can be configured on
     hosts that do not have them.
     """
+    if name == PORTFOLIO_NAME:
+        if binary is not None:
+            raise BackendError(
+                "the portfolio backend races the internal solver; "
+                "--solver-binary does not apply to it")
+        return PortfolioBackend(**kwargs)
+    if kwargs:
+        raise BackendError(
+            f"backend options {sorted(kwargs)} only apply to the "
+            f"{PORTFOLIO_NAME!r} backend, not {name!r}")
     if is_internal(name):
         return InternalBackend()
     return SubprocessBackend(name, binary=binary)
+
+
+def fold_portfolio_flags(backend: str, num_workers: int | None,
+                         cube_depth: int | None) -> tuple[str, dict]:
+    """Fold ``--portfolio N`` / ``--cube-depth K`` into (backend, kwargs).
+
+    The single definition behind both CLIs (``repro solve`` and the runner):
+    either flag switches the backend to ``portfolio``; combining them with
+    an external backend, a non-positive worker count or an out-of-cap cube
+    depth raises :class:`BackendError` with a user-facing message.  Returns
+    plain data so runner tasks stay JSON-stable.
+    """
+    from repro.sat.portfolio import MAX_CUBE_DEPTH
+
+    if num_workers is None and cube_depth is None:
+        return backend, {}
+    if backend not in INTERNAL_NAMES + (PORTFOLIO_NAME,):
+        raise BackendError(
+            f"--portfolio/--cube-depth race the internal solver and cannot "
+            f"be combined with --backend {backend}")
+    backend_kwargs: dict = {}
+    if num_workers is not None:
+        if num_workers < 1:
+            raise BackendError("--portfolio needs at least one worker")
+        backend_kwargs["num_workers"] = num_workers
+    if cube_depth is not None:
+        if not 1 <= cube_depth <= MAX_CUBE_DEPTH:
+            raise BackendError(
+                f"--cube-depth must lie in [1, {MAX_CUBE_DEPTH}]")
+        backend_kwargs["cube_depth"] = cube_depth
+    return PORTFOLIO_NAME, backend_kwargs
 
 
 def ensure_available(backend: SolverBackend) -> None:
@@ -369,12 +503,22 @@ def ensure_available(backend: SolverBackend) -> None:
 
 
 def resolve_backend(backend: str | SolverBackend | None,
-                    binary: str | None = None) -> SolverBackend:
-    """Normalise a backend argument: name, instance or None (the default)."""
+                    binary: str | None = None,
+                    **kwargs) -> SolverBackend:
+    """Normalise a backend argument: name, instance or None (the default).
+
+    ``kwargs`` configure name-addressed backends (currently the portfolio
+    backend's ``num_workers``/``cube_depth``/``seed``/``heuristic``) and are
+    rejected for instances, whose configuration is already fixed.
+    """
     if backend is None:
-        return InternalBackend()
+        backend = DEFAULT_BACKEND
     if isinstance(backend, str):
-        return get_backend(backend, binary=binary)
+        return get_backend(backend, binary=binary, **kwargs)
+    if kwargs:
+        raise BackendError(
+            f"backend options {sorted(kwargs)} cannot reconfigure an "
+            f"already-built backend instance ({backend!r})")
     return backend
 
 

@@ -41,12 +41,20 @@ class SolverConfig:
     def __post_init__(self) -> None:
         if not 0.0 < self.var_decay <= 1.0:
             raise ValueError("var_decay must lie in (0, 1]")
+        if not 0.0 < self.clause_decay <= 1.0:
+            raise ValueError("clause_decay must lie in (0, 1]")
         if self.restart_strategy not in ("luby", "geometric", "none"):
             raise ValueError(f"unknown restart strategy {self.restart_strategy!r}")
         if self.restart_interval <= 0:
             raise ValueError("restart_interval must be positive")
+        if self.reduce_interval <= 0:
+            raise ValueError("reduce_interval must be positive")
         if not 0.0 <= self.reduce_fraction <= 1.0:
             raise ValueError("reduce_fraction must lie in [0, 1]")
+        if self.max_lbd_keep < 0:
+            raise ValueError("max_lbd_keep must be non-negative")
+        if not 0.0 <= self.random_decision_freq <= 1.0:
+            raise ValueError("random_decision_freq must lie in [0, 1]")
 
 
 def kissat_like() -> SolverConfig:

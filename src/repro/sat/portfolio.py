@@ -1,0 +1,649 @@
+"""Parallel portfolio and cube-and-conquer solving on top of the CDCL core.
+
+Two classic ways of spending several cores on one formula, both built from
+pieces the sequential stack already provides:
+
+* **Portfolio racing** (:func:`solve_portfolio`) — N *diversified*
+  :class:`repro.sat.configs.SolverConfig` variants race on the same formula
+  in separate processes.  Diversification jitters the knobs that most change
+  a CDCL run's trajectory — seed, restart strategy and interval, default
+  phase, VSIDS decay and the random-decision frequency — starting from the
+  ``kissat_like``/``cadical_like`` presets.  The first decisive worker
+  (SAT or UNSAT) wins; the losers are terminated and reported as
+  ``CANCELLED``.  Because CDCL runtimes are heavy-tailed, the minimum over a
+  few diversified runs is routinely far below the runtime of any single
+  fixed configuration — the standard result portfolio solvers exploit.
+
+* **Cube and conquer** (:func:`solve_cube_and_conquer`) — the formula is
+  split on the ``2**depth`` sign combinations of ``depth`` branching
+  variables chosen by an occurrence heuristic (:func:`cube_split_variables`,
+  a Jeroslow–Wang-weighted occurrence count standing in for lookahead/VSIDS
+  scores).  Each worker owns one *incremental* :class:`CdclSolver` session
+  and conquers its share of cubes through ``solve(assumptions=cube)``, so
+  learned clauses, VSIDS activities and saved phases carry across the cubes
+  of one worker.  Any SAT cube decides the formula; all cubes UNSAT decides
+  UNSAT; a cube that is UNSAT *independently of its cube literals* (final
+  conflict core free of split variables) short-circuits the whole run.
+
+Both entry points return a :class:`PortfolioResult`: the winning
+:class:`repro.sat.solver.SolveResult` plus per-worker outcomes and the
+wall-clock time.  Everything is deterministic *in verdict* — SAT/UNSAT is a
+property of the formula and every worker is sound — but the winning worker,
+its model and its statistics legitimately vary run to run; differential
+tests therefore compare statuses and *verify* models rather than expecting
+bit-identical results.
+
+Workers communicate over a ``multiprocessing`` queue and are always
+terminated and joined before the call returns (also on errors and timeouts),
+so portfolio solving composes with the batch runner's per-task hard
+timeouts without leaking processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field, replace
+from queue import Empty
+
+from repro.cnf.cnf import Cnf
+from repro.errors import SolverError
+from repro.sat.configs import SolverConfig, cadical_like, kissat_like
+from repro.sat.solver import CdclSolver, SolveResult
+from repro.sat.stats import SolverStats
+
+__all__ = [
+    "DEFAULT_NUM_WORKERS",
+    "MAX_CUBE_DEPTH",
+    "WorkerReport",
+    "PortfolioResult",
+    "diversified_configs",
+    "cube_split_variables",
+    "generate_cubes",
+    "solve_portfolio",
+    "solve_cube_and_conquer",
+]
+
+#: Default worker count when the caller does not choose one.
+DEFAULT_NUM_WORKERS = 4
+
+#: Hard cap on the cube depth: 2**depth cubes must stay enumerable.
+MAX_CUBE_DEPTH = 12
+
+#: How long the parent polls the result queue between liveness checks.
+_POLL_INTERVAL = 0.05
+
+#: Consecutive empty polls with a dead, silent worker before it is declared
+#: crashed (a worker may exit between putting its message and the poll).
+_DEAD_POLLS = 2
+
+#: Extra wall-clock slack the parent grants workers beyond ``time_limit``
+#: before killing them (the workers' own in-loop limit should fire first).
+_KILL_GRACE = 5.0
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform has it (cheap, inherits the loaded modules);
+    the default start method otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# --------------------------------------------------------------------- #
+# Diversification
+# --------------------------------------------------------------------- #
+
+
+def diversified_configs(num_workers: int,
+                        base: SolverConfig | None = None,
+                        seed: int = 0) -> list[SolverConfig]:
+    """Build ``num_workers`` deterministic, diversified solver configs.
+
+    Workers 0 and 1 run the two presets nearly unchanged (worker 0 is
+    ``base`` when one is given), so the portfolio never does worse than the
+    sequential defaults by more than the racing overhead.  Further workers
+    jitter restart strategy/interval, default phase, VSIDS decay and the
+    random-decision frequency around the presets; every worker gets its own
+    solver seed.  Fully deterministic for a given ``(num_workers, base,
+    seed)`` tuple.
+    """
+    if num_workers < 1:
+        raise SolverError("a portfolio needs at least one worker")
+    anchors = [base or kissat_like(), cadical_like()]
+    rng = random.Random(f"{seed}/{num_workers}/{anchors[0].seed}")
+    configs: list[SolverConfig] = []
+    for index in range(num_workers):
+        template = anchors[index % len(anchors)]
+        if index < len(anchors):
+            config = replace(template, seed=seed + index,
+                             name=f"{template.name}@w{index}")
+        else:
+            config = replace(
+                template,
+                name=f"{template.name}~j{index}",
+                seed=seed * 1_000_003 + index,
+                var_decay=min(1.0, max(0.80,
+                                       template.var_decay
+                                       + rng.uniform(-0.12, 0.04))),
+                restart_interval=max(16, int(template.restart_interval
+                                             * rng.choice((0.25, 0.5, 1.0,
+                                                           2.0)))),
+                restart_strategy=rng.choice(("luby", "geometric")),
+                default_phase=rng.random() < 0.5,
+                phase_saving=rng.random() < 0.9,
+                # The high tail ("needle hunters": frequent random decisions
+                # with rapid restarts) pays off on satisfiable instances
+                # whose solutions hide in a small region.
+                random_decision_freq=rng.choice((0.0, 0.01, 0.05, 0.2)),
+            )
+        configs.append(config)
+    return configs
+
+
+# --------------------------------------------------------------------- #
+# Cube generation
+# --------------------------------------------------------------------- #
+
+
+def cube_split_variables(cnf: Cnf, depth: int,
+                         heuristic: str = "occurrence") -> list[int]:
+    """Pick ``depth`` branching variables for cube splitting.
+
+    ``occurrence`` scores each variable by a Jeroslow–Wang-weighted
+    occurrence count (occurrences in short clauses count exponentially
+    more), a cheap static proxy for the lookahead/VSIDS scores real
+    cube-and-conquer solvers use; ``plain`` uses unweighted occurrence
+    counts.  Ties break towards the smaller variable index, so the split is
+    deterministic.
+    """
+    if heuristic not in ("occurrence", "plain"):
+        raise SolverError(f"unknown cube heuristic {heuristic!r}")
+    scores = [0.0] * (cnf.num_vars + 1)
+    for clause in cnf.clauses:
+        weight = 2.0 ** -min(len(clause), 25) if heuristic == "occurrence" \
+            else 1.0
+        for literal in clause:
+            var = abs(literal)
+            if var <= cnf.num_vars:
+                scores[var] += weight
+    ranked = sorted(range(1, cnf.num_vars + 1),
+                    key=lambda var: (-scores[var], var))
+    return [var for var in ranked[:depth] if scores[var] > 0.0]
+
+
+def generate_cubes(variables: list[int]) -> list[list[int]]:
+    """All ``2**len(variables)`` sign combinations, as assumption lists.
+
+    The cubes partition the assignment space of the split variables, so
+    conquering every cube decides the formula.  An empty variable list
+    yields the single empty cube (a plain sequential solve).
+    """
+    cubes: list[list[int]] = [[]]
+    for var in variables:
+        cubes = [cube + [var] for cube in cubes] \
+            + [cube + [-var] for cube in cubes]
+    return cubes
+
+
+# --------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class WorkerReport:
+    """What one portfolio/cube worker did.
+
+    ``status`` is the worker's own verdict: ``SAT``/``UNSAT``/``UNKNOWN``
+    for workers that reported, ``EXHAUSTED`` for cube workers that finished
+    their share without deciding the formula, ``CANCELLED`` for losers
+    terminated after the winner, ``ERROR`` for workers that crashed.
+    ``stats`` is only available for workers that reported back.
+    """
+
+    index: int
+    config_name: str
+    status: str
+    solve_time: float = 0.0
+    stats: SolverStats | None = None
+    cubes_solved: int = 0
+    error: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "config": self.config_name,
+            "status": self.status,
+            "solve_time": self.solve_time,
+            "cubes_solved": self.cubes_solved,
+            "stats": self.stats.as_dict() if self.stats else None,
+            "error": self.error or None,
+        }
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of a portfolio or cube-and-conquer run."""
+
+    result: SolveResult
+    mode: str                      # "portfolio" or "cube"
+    winner: str | None             # config name of the deciding worker
+    workers: list[WorkerReport] = field(default_factory=list)
+    wall_time: float = 0.0
+    num_cubes: int = 0
+    cube_variables: list[int] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        return self.result.status
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "mode": self.mode,
+            "status": self.result.status,
+            "winner": self.winner,
+            "wall_time": self.wall_time,
+            "num_cubes": self.num_cubes,
+            "cube_variables": list(self.cube_variables),
+            "workers": [report.as_dict() for report in self.workers],
+        }
+
+
+# --------------------------------------------------------------------- #
+# Worker bodies (module-level so every start method can import them)
+# --------------------------------------------------------------------- #
+
+
+def _race_worker(index: int, cnf: Cnf, config: SolverConfig,
+                 time_limit: float | None, max_conflicts: int | None,
+                 max_decisions: int | None, assumptions: list[int] | None,
+                 queue) -> None:
+    start = time.perf_counter()
+    try:
+        result = CdclSolver(cnf, config=config).solve(
+            max_conflicts=max_conflicts, max_decisions=max_decisions,
+            time_limit=time_limit, assumptions=assumptions)
+        queue.put({"kind": "result", "index": index, "status": result.status,
+                   "model": result.model, "core": result.core,
+                   "stats": result.stats,
+                   "elapsed": time.perf_counter() - start})
+    except Exception as exc:  # pragma: no cover - defensive
+        queue.put({"kind": "error", "index": index, "error": repr(exc),
+                   "elapsed": time.perf_counter() - start})
+
+
+def _cube_worker(index: int, cnf: Cnf, config: SolverConfig,
+                 cubes: list[list[int]], time_limit: float | None,
+                 max_conflicts: int | None, max_decisions: int | None,
+                 assumptions: list[int] | None, queue) -> None:
+    start = time.perf_counter()
+    base_assumptions = list(assumptions or [])
+    cube_vars = {abs(literal) for cube in cubes for literal in cube}
+    deadline = start + time_limit if time_limit is not None else None
+    solver = None
+    completed = 0
+    try:
+        # One incremental session per worker: learned clauses, activities
+        # and phases persist across this worker's cubes.
+        solver = CdclSolver(cnf, config=config)
+        statuses: list[str] = []
+        for cube in cubes:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    # Mark the unattempted cube undecided so the parent
+                    # cannot mistake a timed-out share for all-UNSAT.
+                    statuses.append("UNKNOWN")
+                    break
+            result = solver.solve(time_limit=remaining,
+                                  max_conflicts=max_conflicts,
+                                  max_decisions=max_decisions,
+                                  assumptions=base_assumptions + cube)
+            completed += 1
+            if result.status == "SAT":
+                queue.put({"kind": "result", "index": index, "status": "SAT",
+                           "model": result.model, "core": None,
+                           "stats": solver.stats, "cubes_solved": completed,
+                           "elapsed": time.perf_counter() - start})
+                return
+            if result.status == "UNSAT":
+                core_vars = {abs(literal) for literal in result.core or []}
+                if not core_vars & cube_vars:
+                    # The final-conflict core avoids every split variable:
+                    # the formula (under the caller's assumptions alone) is
+                    # UNSAT, independent of the remaining cubes.
+                    queue.put({"kind": "result", "index": index,
+                               "status": "UNSAT", "model": None,
+                               "core": result.core, "stats": solver.stats,
+                               "cubes_solved": completed,
+                               "elapsed": time.perf_counter() - start})
+                    return
+            statuses.append(result.status)
+        queue.put({"kind": "exhausted", "index": index, "statuses": statuses,
+                   "stats": solver.stats, "cubes_solved": completed,
+                   "elapsed": time.perf_counter() - start})
+    except Exception as exc:  # pragma: no cover - defensive
+        queue.put({"kind": "error", "index": index, "error": repr(exc),
+                   "stats": solver.stats if solver is not None else None,
+                   "elapsed": time.perf_counter() - start})
+
+
+class _InlineQueue:
+    """Message sink for the in-process (num_workers == 1) fast path."""
+
+    def __init__(self) -> None:
+        self.messages: list[dict] = []
+
+    def put(self, message: dict) -> None:
+        self.messages.append(message)
+
+
+# --------------------------------------------------------------------- #
+# Parent-side orchestration
+# --------------------------------------------------------------------- #
+
+
+def _collect(procs: list, queue, decisive, time_limit: float | None):
+    """Await worker messages until one is decisive or all have reported.
+
+    Returns ``(messages, winner_message)``; the caller terminates whatever
+    is still running.  A worker that dies without a message is recorded as
+    an error after a couple of confirming polls; when ``time_limit`` is set
+    a safety deadline (limit + grace) bounds the whole wait.
+    """
+    messages: dict[int, dict] = {}
+    pending = set(range(len(procs)))
+    silent_dead: dict[int, int] = {}
+    deadline = (time.monotonic() + time_limit + _KILL_GRACE
+                if time_limit is not None else None)
+    while pending:
+        try:
+            message = queue.get(timeout=_POLL_INTERVAL)
+        except Empty:
+            for index in sorted(pending):
+                if not procs[index].is_alive():
+                    silent_dead[index] = silent_dead.get(index, 0) + 1
+                    if silent_dead[index] >= _DEAD_POLLS:
+                        pending.discard(index)
+                        messages[index] = {"kind": "error", "index": index,
+                                           "error": "worker died without "
+                                                    "reporting", "elapsed": 0.0}
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            continue
+        index = message["index"]
+        messages[index] = message
+        pending.discard(index)
+        silent_dead.pop(index, None)
+        if decisive(message):
+            return messages, message
+    return messages, None
+
+
+def _shutdown(procs: list, queue) -> None:
+    """Terminate and reap every worker; drain the queue so feeders unblock.
+
+    Tolerates workers that were never started (a failed spawn mid-way
+    through the start loop): those are simply skipped.
+    """
+    for proc in procs:
+        if proc.pid is not None and proc.is_alive():
+            proc.terminate()
+    while True:
+        try:
+            queue.get_nowait()
+        except (Empty, OSError):
+            break
+    for proc in procs:
+        if proc.pid is None:
+            continue
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.kill()
+            proc.join()
+    queue.close()
+
+
+def _worker_reports(configs: list[SolverConfig],
+                    messages: dict[int, dict]) -> list[WorkerReport]:
+    reports = []
+    for index, config in enumerate(configs):
+        message = messages.get(index)
+        if message is None:
+            reports.append(WorkerReport(index=index, config_name=config.name,
+                                        status="CANCELLED"))
+            continue
+        if message["kind"] == "error":
+            reports.append(WorkerReport(
+                index=index, config_name=config.name, status="ERROR",
+                solve_time=message.get("elapsed", 0.0),
+                stats=message.get("stats"), error=message["error"]))
+            continue
+        if message["kind"] == "exhausted":
+            status = "EXHAUSTED"
+        else:
+            status = message["status"]
+        reports.append(WorkerReport(
+            index=index, config_name=config.name, status=status,
+            solve_time=message.get("elapsed", 0.0),
+            stats=message.get("stats"),
+            cubes_solved=message.get("cubes_solved", 0)))
+    return reports
+
+
+def _aggregate_stats(reports: list[WorkerReport],
+                     wall_time: float) -> SolverStats:
+    total = SolverStats(solve_time=wall_time)
+    for report in reports:
+        if report.stats is None:
+            continue
+        total.decisions += report.stats.decisions
+        total.conflicts += report.stats.conflicts
+        total.propagations += report.stats.propagations
+        total.restarts += report.stats.restarts
+        total.learned_clauses += report.stats.learned_clauses
+        total.deleted_clauses += report.stats.deleted_clauses
+        total.max_decision_level = max(total.max_decision_level,
+                                       report.stats.max_decision_level)
+    return total
+
+
+def _winning_result(message: dict) -> SolveResult:
+    stats: SolverStats = message["stats"]
+    return SolveResult(status=message["status"], model=message.get("model"),
+                       stats=stats, core=message.get("core"))
+
+
+def _raise_if_all_workers_failed(configs: list[SolverConfig],
+                                 messages: dict[int, dict]) -> None:
+    """An all-ERROR worker set is a failure, not an UNKNOWN verdict.
+
+    UNKNOWN must stay reserved for budget/deadline exhaustion; if every
+    single worker crashed the caller needs to know (a systematic solver or
+    pickling bug), so the run raises with the collected errors.
+    """
+    if len(messages) == len(configs) and messages and \
+            all(message["kind"] == "error" for message in messages.values()):
+        details = "; ".join(
+            f"{configs[index].name}: {messages[index]['error']}"
+            for index in sorted(messages))
+        raise SolverError(f"every portfolio worker failed: {details}")
+
+
+def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
+                    configs: list[SolverConfig] | None = None,
+                    base_config: SolverConfig | None = None,
+                    seed: int = 0, time_limit: float | None = None,
+                    max_conflicts: int | None = None,
+                    max_decisions: int | None = None,
+                    assumptions: list[int] | None = None) -> PortfolioResult:
+    """Race diversified solver configurations on ``cnf``; first verdict wins.
+
+    ``configs`` overrides the generated diversification (its length then
+    sets the worker count).  With one worker the solve runs in-process —
+    no fork, identical semantics.  ``UNKNOWN`` is only returned when every
+    worker exhausted its budget (or the safety deadline killed the race).
+    """
+    if configs is None:
+        configs = diversified_configs(num_workers, base=base_config, seed=seed)
+    if not configs:
+        raise SolverError("a portfolio needs at least one configuration")
+    start = time.perf_counter()
+
+    def decisive(message: dict) -> bool:
+        return message["kind"] == "result" \
+            and message["status"] in ("SAT", "UNSAT")
+
+    if len(configs) == 1:
+        inline = _InlineQueue()
+        _race_worker(0, cnf, configs[0], time_limit, max_conflicts,
+                     max_decisions, assumptions, inline)
+        messages = {0: inline.messages[0]}
+        winner = inline.messages[0] if decisive(inline.messages[0]) else None
+    else:
+        context = _mp_context()
+        queue = context.Queue()
+        procs = [context.Process(
+            target=_race_worker,
+            args=(index, cnf, config, time_limit, max_conflicts,
+                  max_decisions, assumptions, queue),
+            daemon=False)
+            for index, config in enumerate(configs)]
+        # start() runs inside the try so that a failed spawn — or a caller's
+        # hard-timeout alarm firing in the start window — still terminates
+        # the workers already running.
+        try:
+            for proc in procs:
+                proc.start()
+            messages, winner = _collect(procs, queue, decisive, time_limit)
+        finally:
+            _shutdown(procs, queue)
+
+    wall_time = time.perf_counter() - start
+    winner_index = winner["index"] if winner else None
+    reports = _worker_reports(configs, messages)
+    if winner is not None:
+        result = _winning_result(winner)
+        winner_name = configs[winner_index].name
+    else:
+        _raise_if_all_workers_failed(configs, messages)
+        result = SolveResult(status="UNKNOWN", model=None,
+                             stats=_aggregate_stats(reports, wall_time))
+        winner_name = None
+    return PortfolioResult(result=result, mode="portfolio",
+                           winner=winner_name, workers=reports,
+                           wall_time=wall_time)
+
+
+def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
+                           num_workers: int = DEFAULT_NUM_WORKERS,
+                           config: SolverConfig | None = None,
+                           heuristic: str = "occurrence", seed: int = 0,
+                           time_limit: float | None = None,
+                           max_conflicts: int | None = None,
+                           max_decisions: int | None = None,
+                           assumptions: list[int] | None = None,
+                           variables: list[int] | None = None) -> PortfolioResult:
+    """Split ``cnf`` into ``2**cube_depth`` cubes and conquer them in parallel.
+
+    Each worker conquers its round-robin share of the cubes on one
+    incremental solver session (learned clauses are reused across cubes).
+    Any SAT cube — or an UNSAT cube whose final-conflict core avoids the
+    split variables — decides the formula early; otherwise the verdict is
+    UNSAT exactly when every cube came back UNSAT.  ``max_conflicts`` and
+    ``max_decisions`` are per-cube budgets; exhausting either on any cube
+    (without a SAT elsewhere) degrades the verdict to ``UNKNOWN``.
+
+    ``variables`` overrides the split-variable choice entirely (the cuber is
+    pluggable, as in real cube-and-conquer solvers); callers with structural
+    knowledge — e.g. the primary-input variables of a circuit encoding,
+    which decompose the circuit into constant-propagated slices — pass it
+    directly and ``cube_depth``/``heuristic`` only cap the list length.
+    """
+    if cube_depth < 1:
+        raise SolverError("cube_depth must be at least 1 "
+                          "(use solve_portfolio for an unsplit race)")
+    if cube_depth > MAX_CUBE_DEPTH:
+        raise SolverError(f"cube_depth {cube_depth} exceeds the "
+                          f"{MAX_CUBE_DEPTH} cap (2**depth cubes)")
+    if num_workers < 1:
+        raise SolverError("cube and conquer needs at least one worker")
+    if variables is not None:
+        for var in variables:
+            if not 1 <= var <= cnf.num_vars:
+                raise SolverError(f"split variable {var} out of range")
+        variables = list(variables)[:cube_depth]
+    else:
+        variables = cube_split_variables(cnf, cube_depth, heuristic=heuristic)
+    cubes = generate_cubes(variables)
+    num_workers = min(num_workers, len(cubes))
+    base = config or kissat_like()
+    configs = [replace(base, seed=base.seed + seed + index,
+                       name=f"{base.name}#c{index}")
+               for index in range(num_workers)]
+    shares = [cubes[index::num_workers] for index in range(num_workers)]
+    start = time.perf_counter()
+
+    def decisive(message: dict) -> bool:
+        return message["kind"] == "result"
+
+    if num_workers == 1:
+        inline = _InlineQueue()
+        _cube_worker(0, cnf, configs[0], shares[0], time_limit,
+                     max_conflicts, max_decisions, assumptions, inline)
+        messages = {0: inline.messages[0]}
+        winner = inline.messages[0] if decisive(inline.messages[0]) else None
+    else:
+        context = _mp_context()
+        queue = context.Queue()
+        procs = [context.Process(
+            target=_cube_worker,
+            args=(index, cnf, configs[index], shares[index], time_limit,
+                  max_conflicts, max_decisions, assumptions, queue),
+            daemon=False)
+            for index in range(num_workers)]
+        # start() inside the try: see solve_portfolio.
+        try:
+            for proc in procs:
+                proc.start()
+            messages, winner = _collect(procs, queue, decisive, time_limit)
+        finally:
+            _shutdown(procs, queue)
+
+    wall_time = time.perf_counter() - start
+    winner_index = winner["index"] if winner else None
+    reports = _worker_reports(configs, messages)
+
+    if winner is not None:
+        result = _winning_result(winner)
+        winner_name = configs[winner_index].name
+    else:
+        _raise_if_all_workers_failed(configs, messages)
+        exhausted = [messages.get(index) for index in range(num_workers)]
+        all_reported = all(message is not None
+                           and message["kind"] == "exhausted"
+                           for message in exhausted)
+        statuses = [status for message in exhausted if message is not None
+                    for status in message.get("statuses", [])]
+        if all_reported and statuses \
+                and all(status == "UNSAT" for status in statuses) \
+                and sum(len(share) for share in shares) == len(statuses):
+            # Every cube of the partition is UNSAT: the formula (under the
+            # caller's assumptions) is UNSAT.  Without assumptions the core
+            # is empty — formula-level UNSAT — matching the sequential
+            # solver's convention; with assumptions only the trivial core
+            # is known (cube cores name cube literals, not assumptions).
+            core = list(assumptions) if assumptions else []
+            result = SolveResult(status="UNSAT", model=None,
+                                 stats=_aggregate_stats(reports, wall_time),
+                                 core=core)
+        else:
+            result = SolveResult(status="UNKNOWN", model=None,
+                                 stats=_aggregate_stats(reports, wall_time))
+        winner_name = None
+    return PortfolioResult(result=result, mode="cube", winner=winner_name,
+                           workers=reports, wall_time=wall_time,
+                           num_cubes=len(cubes), cube_variables=variables)

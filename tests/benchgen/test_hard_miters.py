@@ -44,3 +44,32 @@ class TestMultiplierCommutativityMiter:
         miter = multiplier_commutativity_miter(width)
         assert miter.num_pis == 2 * width
         assert miter.num_pos == 1
+
+
+class TestCornerCaseMiter:
+    def test_exactly_one_satisfying_input_pattern(self):
+        from repro.benchgen import corner_case_miter
+
+        for seed in (0, 1, 2):
+            miter = corner_case_miter(3, seed=seed)
+            tables = po_truth_tables(miter)
+            # PO 0 is the commutativity difference (constant false at this
+            # width); PO 1 is the needle, true for exactly one pattern.
+            assert tables[0] == 0
+            assert bin(tables[1]).count("1") == 1
+
+    def test_needle_varies_with_seed(self):
+        from repro.benchgen import corner_case_miter
+
+        tables = {po_truth_tables(corner_case_miter(3, seed=s))[1]
+                  for s in range(6)}
+        assert len(tables) > 1
+
+    def test_is_sat_and_model_hits_the_needle(self):
+        from repro.benchgen import corner_case_miter
+
+        miter = corner_case_miter(3, seed=4)
+        cnf = tseitin_encode(miter)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert cnf.evaluate(result.model)

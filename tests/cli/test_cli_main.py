@@ -274,3 +274,51 @@ class TestHelpers:
         kind, loaded = load_input(path)
         assert kind == "cnf"
         assert loaded.clauses == cnf.clauses
+
+
+class TestSolvePortfolio:
+    def test_solve_portfolio_race(self, sat_cnf_file, capsys):
+        code = main(["solve", sat_cnf_file, "--portfolio", "2"])
+        out = capsys.readouterr().out
+        assert code == 10
+        assert "s SATISFIABLE" in out
+        assert "c portfolio: 2 workers, racing portfolio" in out
+        assert "c winner:" in out
+
+    def test_solve_cube_mode_with_json_report(self, sat_cnf_file, capsys,
+                                              tmp_path):
+        report = tmp_path / "report.json"
+        code = main(["solve", sat_cnf_file, "--portfolio", "2",
+                     "--cube-depth", "2", "--no-model",
+                     "--json", str(report)])
+        out = capsys.readouterr().out
+        assert code == 10
+        assert "cube-and-conquer depth 2" in out
+        assert "c cube split: 4 cubes" in out
+        payload = json.loads(report.read_text())
+        assert payload["backend"] == "portfolio"
+        assert payload["portfolio"]["mode"] == "cube"
+        assert payload["portfolio"]["num_cubes"] == 4
+        assert len(payload["portfolio"]["workers"]) == 2
+
+    def test_solve_unsat_through_portfolio(self, unsat_cnf_file, capsys):
+        code = main(["solve", unsat_cnf_file, "--cube-depth", "1"])
+        assert code == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_portfolio_rejects_external_backend(self, sat_cnf_file, capsys):
+        code = main(["solve", sat_cnf_file, "--portfolio", "2",
+                     "--backend", "kissat"])
+        assert code == 1
+        assert "internal solver" in capsys.readouterr().err
+
+    def test_portfolio_rejects_bad_counts(self, sat_cnf_file, capsys):
+        assert main(["solve", sat_cnf_file, "--portfolio", "0"]) == 1
+        capsys.readouterr()
+        assert main(["solve", sat_cnf_file, "--cube-depth", "0"]) == 1
+
+    def test_portfolio_rejects_solver_binary(self, sat_cnf_file, capsys):
+        code = main(["solve", sat_cnf_file, "--portfolio", "2",
+                     "--solver-binary", "/opt/kissat"])
+        assert code == 1
+        assert "solver-binary" in capsys.readouterr().err

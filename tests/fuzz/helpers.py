@@ -1,0 +1,118 @@
+"""Shared machinery of the differential-fuzzing suite.
+
+Every fuzz check runs the same protocol on one seeded instance:
+
+* solve with the internal CDCL solver (the subject under test);
+* cross-check the verdict against an *independent oracle* — the plain DPLL
+  solver for small formulas, a differently-configured CDCL run otherwise;
+* a SAT verdict must come with a model that satisfies the formula **clause
+  by clause** (checked literal-wise here, not via ``Cnf.evaluate``, so the
+  test cannot share a bug with the library's own evaluator);
+* an UNSAT verdict is re-proved by a second solver configuration with a
+  different seed, restart strategy and phase (two independent refutations).
+
+The generators are deliberately diverse: uniform random k-SAT across widths
+and clause ratios, and Tseitin-encoded LEC miters (equivalent and mutated)
+from random AIGs — the two instance shapes the stack actually solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.benchgen.lec import lec_instance
+from repro.benchgen.random_logic import random_aig, random_cnf
+from repro.cnf.cnf import Cnf
+from repro.cnf.tseitin import tseitin_encode
+from repro.sat.configs import SolverConfig, cadical_like, kissat_like
+from repro.sat.dpll import dpll_solve
+from repro.sat.solver import solve_cnf
+
+__all__ = [
+    "INDEPENDENT_CONFIG",
+    "random_cnf_instance",
+    "miter_cnf_instance",
+    "model_satisfies_clause_by_clause",
+    "check_against_oracles",
+    "primary_config",
+]
+
+#: The independent UNSAT re-prover: differs from both presets in seed,
+#: restart strategy, phase and decay, so a shared heuristic blind spot
+#: between the primary solve and the re-proof is unlikely.
+INDEPENDENT_CONFIG = replace(
+    cadical_like(), name="independent", seed=0xC0FFEE,
+    restart_strategy="luby", restart_interval=50, default_phase=False,
+    var_decay=0.9, random_decision_freq=0.02,
+)
+
+
+def random_cnf_instance(seed: int) -> Cnf:
+    """A seeded random k-SAT formula with seed-derived shape.
+
+    Cycles through widths 1-4 and clause ratios from deep-satisfiable to
+    deep-unsatisfiable, so the stream contains easy SAT, easy UNSAT and
+    near-threshold instances.
+    """
+    num_vars = 8 + (seed * 7) % 21              # 8 .. 28
+    min_width = 1 + seed % 3                    # 1 .. 3
+    max_width = min_width + (seed // 3) % 2 + 1  # min+1 .. min+2
+    ratio = 2.0 + (seed % 9) * 0.5              # 2.0 .. 6.0
+    return random_cnf(num_vars, int(num_vars * ratio), seed,
+                      min_width=min_width, max_width=max_width)
+
+
+def miter_cnf_instance(seed: int) -> Cnf:
+    """A seeded LEC miter CNF from a random AIG.
+
+    Even seeds compare the circuit against a synthesised copy of itself
+    (expected UNSAT); odd seeds against a mutated copy (almost always SAT).
+    """
+    aig = random_aig(num_pis=4 + seed % 3, num_nodes=12 + (seed * 5) % 14,
+                     num_pos=1 + seed % 2, seed=seed)
+    return tseitin_encode(lec_instance(aig, equivalent=seed % 2 == 0,
+                                       seed=seed))
+
+
+def model_satisfies_clause_by_clause(cnf: Cnf,
+                                     model: dict[int, bool]) -> bool:
+    """Literal-wise model check, independent of :meth:`Cnf.evaluate`."""
+    for clause in cnf.clauses:
+        satisfied = False
+        for literal in clause:
+            value = model.get(abs(literal))
+            if value is None:
+                return False
+            if value == (literal > 0):
+                satisfied = True
+                break
+        if not satisfied:
+            return False
+    return True
+
+
+def check_against_oracles(cnf: Cnf, status: str,
+                          model: dict[int, bool] | None,
+                          label: str) -> None:
+    """Assert one solve outcome against the full oracle protocol."""
+    assert status in ("SAT", "UNSAT"), \
+        f"{label}: unbudgeted solve returned {status}"
+    if status == "SAT":
+        assert model is not None, f"{label}: SAT without a model"
+        assert model_satisfies_clause_by_clause(cnf, model), \
+            f"{label}: SAT model fails a clause"
+    else:
+        recheck = solve_cnf(cnf, config=INDEPENDENT_CONFIG)
+        assert recheck.status == "UNSAT", \
+            f"{label}: UNSAT not reproduced by the independent config " \
+            f"(got {recheck.status})"
+    if cnf.num_vars <= 30:
+        oracle_status, _ = dpll_solve(cnf, max_variables=30)
+        assert oracle_status == status, \
+            f"{label}: CDCL says {status}, DPLL oracle says {oracle_status}"
+
+
+def primary_config(seed: int) -> SolverConfig:
+    """The subject configuration, alternating between the two presets."""
+    preset = kissat_like() if seed % 2 == 0 else cadical_like()
+    return replace(preset, seed=seed)

@@ -1,0 +1,137 @@
+"""Differential fuzzing: every solving path against independent oracles.
+
+The quick, unmarked tests keep a representative subset in tier-1; the
+``fuzz``-marked campaigns run the full seeded population (≥300 instances
+plus a 200-instance portfolio/cube agreement sweep) on the scheduled CI job
+or via ``pytest -m fuzz``.
+
+All failures carry the generator seed, so any counterexample reproduces
+with a one-liner.
+"""
+
+import pytest
+
+from repro.sat.portfolio import solve_cube_and_conquer, solve_portfolio
+from repro.sat.solver import solve_cnf
+
+from tests.fuzz.helpers import (
+    check_against_oracles,
+    miter_cnf_instance,
+    model_satisfies_clause_by_clause,
+    primary_config,
+    random_cnf_instance,
+)
+
+#: Seed populations.  The quick subsets are proper prefixes of the full
+#: campaigns, so tier-1 failures always reproduce under the fuzz marker.
+RANDOM_CNF_SEEDS = range(160)
+MITER_SEEDS = range(80)
+QUICK_RANDOM_SEEDS = range(20)
+QUICK_MITER_SEEDS = range(8)
+AGREEMENT_INSTANCES = 200
+QUICK_AGREEMENT_INSTANCES = 8
+
+
+def _check_sequential(cnf, seed: int, label: str) -> None:
+    result = solve_cnf(cnf, config=primary_config(seed))
+    check_against_oracles(cnf, result.status, result.model, label)
+
+
+def _check_parallel_agreement(cnf, seed: int, label: str) -> None:
+    """Portfolio and cube-and-conquer agree with the sequential oracle."""
+    sequential = solve_cnf(cnf, config=primary_config(seed))
+    assert sequential.status in ("SAT", "UNSAT"), \
+        f"{label}: sequential oracle returned {sequential.status}"
+
+    portfolio = solve_portfolio(cnf, num_workers=2, seed=seed)
+    assert portfolio.status == sequential.status, \
+        f"{label}: portfolio says {portfolio.status}, " \
+        f"sequential oracle says {sequential.status}"
+    if portfolio.status == "SAT":
+        assert model_satisfies_clause_by_clause(cnf, portfolio.result.model), \
+            f"{label}: portfolio SAT model fails a clause"
+
+    cube = solve_cube_and_conquer(cnf, cube_depth=2 + seed % 3,
+                                  num_workers=2, seed=seed)
+    assert cube.status == sequential.status, \
+        f"{label}: cube-and-conquer says {cube.status}, " \
+        f"sequential oracle says {sequential.status}"
+    if cube.status == "SAT":
+        assert model_satisfies_clause_by_clause(cnf, cube.result.model), \
+            f"{label}: cube-and-conquer SAT model fails a clause"
+
+
+def _agreement_instance(index: int):
+    """The mixed instance stream of the agreement sweep."""
+    if index % 2 == 0:
+        return random_cnf_instance(index), f"agreement/random_cnf[{index}]"
+    return miter_cnf_instance(index), f"agreement/miter[{index}]"
+
+
+# --------------------------------------------------------------------- #
+# Tier-1 quick subset
+
+
+@pytest.mark.parametrize("seed", QUICK_RANDOM_SEEDS)
+def test_quick_random_cnf_differential(seed):
+    _check_sequential(random_cnf_instance(seed), seed,
+                      f"quick/random_cnf[{seed}]")
+
+
+@pytest.mark.parametrize("seed", QUICK_MITER_SEEDS)
+def test_quick_miter_differential(seed):
+    _check_sequential(miter_cnf_instance(seed), seed,
+                      f"quick/miter[{seed}]")
+
+
+def test_quick_portfolio_cube_agreement():
+    for index in range(QUICK_AGREEMENT_INSTANCES):
+        cnf, label = _agreement_instance(index)
+        _check_parallel_agreement(cnf, index, label)
+
+
+# --------------------------------------------------------------------- #
+# Full fuzz campaigns (scheduled CI / `pytest -m fuzz`)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", RANDOM_CNF_SEEDS)
+def test_fuzz_random_cnf_differential(seed):
+    _check_sequential(random_cnf_instance(seed), seed,
+                      f"fuzz/random_cnf[{seed}]")
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", MITER_SEEDS)
+def test_fuzz_miter_differential(seed):
+    _check_sequential(miter_cnf_instance(seed), seed,
+                      f"fuzz/miter[{seed}]")
+
+
+@pytest.mark.fuzz
+def test_fuzz_portfolio_cube_agreement_200():
+    """The acceptance sweep: 200 instances, portfolio + cube vs. oracle."""
+    for index in range(AGREEMENT_INSTANCES):
+        cnf, label = _agreement_instance(index)
+        _check_parallel_agreement(cnf, index, label)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(30))
+def test_fuzz_assumption_paths_agree(seed):
+    """Assumption solving through portfolio equals re-encoded unit clauses."""
+    cnf = random_cnf_instance(seed)
+    assumptions = [(seed % cnf.num_vars) + 1,
+                   -(((seed * 3 + 1) % cnf.num_vars) + 1)]
+    if abs(assumptions[0]) == abs(assumptions[1]):
+        assumptions = assumptions[:1]
+    augmented = cnf.copy()
+    for literal in assumptions:
+        augmented.add_clause([literal])
+    expected = solve_cnf(augmented).status
+
+    report = solve_portfolio(cnf, num_workers=2, seed=seed,
+                             assumptions=assumptions)
+    assert report.status == expected, \
+        f"fuzz/assumptions[{seed}]: portfolio under assumptions says " \
+        f"{report.status}, augmented formula says {expected}"

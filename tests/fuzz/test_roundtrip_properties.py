@@ -1,0 +1,123 @@
+"""Property-style round-trip tests for the serialisation layers.
+
+~100 seeded random cases each:
+
+* AIGER: write→read→write is **byte-stable** for both the ASCII and the
+  binary format, the two formats agree functionally, and parsing is
+  whitespace-tolerant;
+* DIMACS: render→parse→render is byte-stable in strict mode, lenient mode
+  round-trips a battery of real-world perturbations (comments, blank lines,
+  CRLF, ``%`` terminators) to the same clause list.
+
+These run in tier-1: they are pure serialisation (no solving), so the whole
+population costs a couple of seconds.
+"""
+
+import pytest
+
+from repro.aig.aiger import (
+    read_aiger,
+    read_aiger_binary,
+    write_aiger,
+    write_aiger_binary,
+)
+from repro.benchgen.random_logic import random_aig, random_cnf
+from repro.cnf.dimacs import parse_dimacs, render_dimacs
+
+from tests.helpers import functionally_equivalent
+
+AIG_SEEDS = range(100)
+CNF_SEEDS = range(100)
+
+
+def _random_aig(seed: int):
+    return random_aig(num_pis=2 + seed % 7, num_nodes=4 + (seed * 11) % 37,
+                      num_pos=1 + seed % 3, seed=seed)
+
+
+def _random_cnf(seed: int):
+    num_vars = 1 + (seed * 13) % 40
+    return random_cnf(num_vars, (seed * 7) % 90,
+                      seed, min_width=1, max_width=1 + seed % 4)
+
+
+# --------------------------------------------------------------------- #
+# AIGER
+
+
+@pytest.mark.parametrize("seed", AIG_SEEDS)
+def test_aiger_ascii_roundtrip_byte_stable(seed):
+    aig = _random_aig(seed)
+    first = write_aiger(aig)
+    second = write_aiger(read_aiger(first, name=aig.name))
+    assert first == second, f"ascii AIGER round-trip drifted (seed {seed})"
+
+
+@pytest.mark.parametrize("seed", AIG_SEEDS)
+def test_aiger_binary_roundtrip_byte_stable(seed):
+    aig = _random_aig(seed)
+    first = write_aiger_binary(aig)
+    second = write_aiger_binary(read_aiger_binary(first, name=aig.name))
+    assert first == second, f"binary AIGER round-trip drifted (seed {seed})"
+
+
+@pytest.mark.parametrize("seed", range(0, 100, 5))
+def test_aiger_ascii_and_binary_agree_functionally(seed):
+    aig = _random_aig(seed)
+    from_ascii = read_aiger(write_aiger(aig))
+    from_binary = read_aiger_binary(write_aiger_binary(aig))
+    assert functionally_equivalent(from_ascii, from_binary), \
+        f"ascii and binary round-trips diverge functionally (seed {seed})"
+    assert from_ascii.num_ands == from_binary.num_ands
+
+
+@pytest.mark.parametrize("seed", range(0, 100, 10))
+def test_aiger_ascii_tolerates_whitespace(seed):
+    aig = _random_aig(seed)
+    text = write_aiger(aig)
+    dirty = "\n".join(f"  {line}  " for line in text.splitlines()) + "\n\n"
+    assert write_aiger(read_aiger(dirty, name=aig.name)) == text
+
+
+# --------------------------------------------------------------------- #
+# DIMACS
+
+
+@pytest.mark.parametrize("seed", CNF_SEEDS)
+def test_dimacs_strict_roundtrip_byte_stable(seed):
+    cnf = _random_cnf(seed)
+    first = render_dimacs(cnf)
+    reparsed = parse_dimacs(first, strict=True)
+    assert render_dimacs(reparsed) == first, \
+        f"strict DIMACS round-trip drifted (seed {seed})"
+    assert reparsed.num_vars == cnf.num_vars
+    assert reparsed.clauses == cnf.clauses
+
+
+@pytest.mark.parametrize("seed", CNF_SEEDS)
+def test_dimacs_lenient_roundtrip_of_perturbed_text(seed):
+    cnf = _random_cnf(seed)
+    lines = render_dimacs(cnf).splitlines()
+    perturbed = ["c leading comment", ""]
+    for index, line in enumerate(lines):
+        perturbed.append(line + ("  " if index % 2 else "\t"))
+        if index % 3 == 0:
+            perturbed.append("c interleaved comment")
+            perturbed.append("")
+    perturbed.append("%")
+    perturbed.append("0")
+    text = "\r\n".join(perturbed) + "\r\n"
+    reparsed = parse_dimacs(text, strict=False)
+    assert reparsed.num_vars == cnf.num_vars, f"seed {seed}"
+    assert reparsed.clauses == cnf.clauses, \
+        f"lenient DIMACS round-trip changed the clauses (seed {seed})"
+
+
+@pytest.mark.parametrize("seed", range(0, 100, 10))
+def test_dimacs_strict_equals_lenient_on_clean_text(seed):
+    cnf = _random_cnf(seed)
+    text = render_dimacs(cnf)
+    strict = parse_dimacs(text, strict=True)
+    lenient = parse_dimacs(text, strict=False)
+    assert strict.clauses == lenient.clauses
+    assert strict.num_vars == lenient.num_vars

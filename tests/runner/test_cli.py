@@ -49,3 +49,53 @@ class TestMain:
         # Aggregates come straight from the store, so they reproduce exactly.
         records = [json.loads(line) for line in store.read_text().splitlines()]
         assert len(records) == 2
+
+
+class TestPortfolioFlags:
+    def test_fold_portfolio_flags_defaults(self):
+        from repro.sat.backends import fold_portfolio_flags
+
+        assert fold_portfolio_flags("internal", None, None) \
+            == ("internal", {})
+        assert fold_portfolio_flags("kissat", None, None) == ("kissat", {})
+
+    def test_fold_portfolio_flags_switches_backend(self):
+        from repro.sat.backends import fold_portfolio_flags
+
+        assert fold_portfolio_flags("internal", 4, None) \
+            == ("portfolio", {"num_workers": 4})
+        assert fold_portfolio_flags("internal", 2, 3) \
+            == ("portfolio", {"num_workers": 2, "cube_depth": 3})
+        assert fold_portfolio_flags("portfolio", None, 2) \
+            == ("portfolio", {"cube_depth": 2})
+
+    def test_fold_portfolio_flags_rejects_bad_combinations(self):
+        from repro.errors import BackendError
+        from repro.sat.backends import fold_portfolio_flags
+
+        with pytest.raises(BackendError, match="internal solver"):
+            fold_portfolio_flags("kissat", 2, None)
+        with pytest.raises(BackendError, match="cube-depth"):
+            fold_portfolio_flags("internal", 2, 0)
+        with pytest.raises(BackendError, match="cube-depth"):
+            fold_portfolio_flags("internal", None, 13)
+        with pytest.raises(BackendError, match="worker"):
+            fold_portfolio_flags("internal", 0, None)
+
+    def test_runner_cli_rejects_oversized_cube_depth(self, capsys):
+        code = main(["--suite", "training", "--size", "1",
+                     "--pipelines", "Baseline", "--cube-depth", "13"])
+        assert code == 2
+        assert "cube-depth" in capsys.readouterr().out
+
+    def test_sweep_runs_with_portfolio_backend(self, tmp_path, capsys):
+        store = tmp_path / "portfolio.jsonl"
+        code = main([
+            "--suite", "training", "--size", "1",
+            "--pipelines", "Baseline", "--portfolio", "2",
+            "--time-limit", "30", "--store", str(store),
+        ])
+        assert code == 0
+        assert store.exists()
+        out = capsys.readouterr().out
+        assert "1 tasks" in out or "1 instances" in out

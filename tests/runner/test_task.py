@@ -106,3 +106,33 @@ class TestHelpers:
         resolved = resolve_pipeline_kwargs(adder, kwargs)
         assert resolved == kwargs
         assert resolved is not kwargs
+
+
+class TestBackendKwargsFingerprint:
+    def test_empty_backend_kwargs_keeps_legacy_fingerprint(self, adder):
+        plain = Task.from_aig(adder, "Baseline", time_limit=10.0)
+        explicit = Task.from_aig(adder, "Baseline", time_limit=10.0,
+                                 backend_kwargs={})
+        assert plain.fingerprint() == explicit.fingerprint()
+
+    def test_backend_kwargs_split_the_cache_key(self, adder):
+        base = Task.from_aig(adder, "Baseline", time_limit=10.0,
+                             backend="portfolio")
+        workers = Task.from_aig(adder, "Baseline", time_limit=10.0,
+                                backend="portfolio",
+                                backend_kwargs={"num_workers": 4})
+        cube = Task.from_aig(adder, "Baseline", time_limit=10.0,
+                             backend="portfolio",
+                             backend_kwargs={"num_workers": 4,
+                                             "cube_depth": 3})
+        prints = {base.fingerprint(), workers.fingerprint(),
+                  cube.fingerprint()}
+        assert len(prints) == 3
+
+    def test_portfolio_task_executes(self, adder):
+        from repro.runner.batch import execute_task
+
+        task = Task.from_aig(adder, "Baseline", backend="portfolio",
+                             backend_kwargs={"num_workers": 2})
+        run = execute_task(task)
+        assert run.status in ("SAT", "UNSAT")

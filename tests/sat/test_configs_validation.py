@@ -1,0 +1,85 @@
+"""SolverConfig.__post_init__ rejects out-of-range knobs.
+
+One test per validated field: the boundary values construct, the
+out-of-range ones raise ``ValueError`` with a message naming the field.
+"""
+
+import pytest
+
+from repro.sat.configs import SolverConfig, cadical_like, kissat_like
+
+
+def test_defaults_and_presets_validate():
+    SolverConfig()
+    kissat_like()
+    cadical_like()
+
+
+@pytest.mark.parametrize("value", [0.5, 1.0, 1e-9])
+def test_var_decay_accepts_unit_interval(value):
+    assert SolverConfig(var_decay=value).var_decay == value
+
+
+@pytest.mark.parametrize("value", [0.0, -0.1, 1.0001])
+def test_var_decay_rejects_out_of_range(value):
+    with pytest.raises(ValueError, match="var_decay"):
+        SolverConfig(var_decay=value)
+
+
+@pytest.mark.parametrize("value", [0.5, 1.0])
+def test_clause_decay_accepts_unit_interval(value):
+    assert SolverConfig(clause_decay=value).clause_decay == value
+
+
+@pytest.mark.parametrize("value", [0.0, -1.0, 1.5])
+def test_clause_decay_rejects_out_of_range(value):
+    with pytest.raises(ValueError, match="clause_decay"):
+        SolverConfig(clause_decay=value)
+
+
+def test_restart_strategy_rejects_unknown():
+    with pytest.raises(ValueError, match="restart strategy"):
+        SolverConfig(restart_strategy="fibonacci")
+
+
+@pytest.mark.parametrize("value", [0, -5])
+def test_restart_interval_rejects_non_positive(value):
+    with pytest.raises(ValueError, match="restart_interval"):
+        SolverConfig(restart_interval=value)
+
+
+@pytest.mark.parametrize("value", [0, -2000])
+def test_reduce_interval_rejects_non_positive(value):
+    with pytest.raises(ValueError, match="reduce_interval"):
+        SolverConfig(reduce_interval=value)
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.01])
+def test_reduce_fraction_rejects_out_of_range(value):
+    with pytest.raises(ValueError, match="reduce_fraction"):
+        SolverConfig(reduce_fraction=value)
+
+
+@pytest.mark.parametrize("value", [0.0, 1.0])
+def test_reduce_fraction_accepts_boundaries(value):
+    assert SolverConfig(reduce_fraction=value).reduce_fraction == value
+
+
+def test_max_lbd_keep_rejects_negative():
+    with pytest.raises(ValueError, match="max_lbd_keep"):
+        SolverConfig(max_lbd_keep=-1)
+
+
+def test_max_lbd_keep_accepts_zero():
+    assert SolverConfig(max_lbd_keep=0).max_lbd_keep == 0
+
+
+@pytest.mark.parametrize("value", [0.0, 0.05, 1.0])
+def test_random_decision_freq_accepts_unit_interval(value):
+    assert SolverConfig(random_decision_freq=value).random_decision_freq == value
+
+
+@pytest.mark.parametrize("value", [-0.1, 1.1])
+def test_random_decision_freq_rejects_out_of_range(value):
+    with pytest.raises(ValueError, match="random_decision_freq"):
+        SolverConfig(random_decision_freq=value)
