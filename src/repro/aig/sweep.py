@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 import time
 from dataclasses import dataclass
 
@@ -44,8 +45,11 @@ import numpy as np
 from repro.aig.aig import AIG, CONST0, lit_var
 from repro.aig.simulate import simulate
 from repro.cnf.tseitin import tseitin_encode
+from repro.obs import get_tracer
 from repro.sat.configs import SolverConfig
 from repro.sat.solver import CdclSolver
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["SweepStats", "SweepResult", "sweep_aig", "fraig"]
 
@@ -127,6 +131,23 @@ def sweep_aig(aig: AIG, num_patterns: int = 2048, seed: int = 1,
         solver preset for the proof engine (default: the stock
         :class:`repro.sat.configs.SolverConfig`).
     """
+    tracer = get_tracer()
+    with tracer.span("sweep", nodes_before=aig.num_ands) as span:
+        result = _sweep(aig, num_patterns=num_patterns, seed=seed,
+                        conflict_budget=conflict_budget,
+                        max_class_size=max_class_size, config=config)
+        span.set(nodes_after=result.stats.nodes_after,
+                 sat_calls=result.stats.sat_calls,
+                 merges=result.stats.merges,
+                 refinements=result.stats.refinements)
+    logger.info("sweep: %d -> %d AND nodes (%d merges, %d SAT calls)",
+                result.stats.nodes_before, result.stats.nodes_after,
+                result.stats.merges, result.stats.sat_calls)
+    return result
+
+
+def _sweep(aig: AIG, num_patterns: int, seed: int, conflict_budget: int,
+           max_class_size: int, config: SolverConfig | None) -> SweepResult:
     start = time.perf_counter()
     stats = SweepStats(nodes_before=aig.num_ands)
     if aig.num_ands == 0:
@@ -263,6 +284,8 @@ def sweep_aig(aig: AIG, num_patterns: int = 2048, seed: int = 1,
             # Counterexample-guided refinement: one refuting pattern
             # re-partitions every pending class, not just this one.
             stats.refinements += 1
+            get_tracer().event("refinement", sat_calls=stats.sat_calls,
+                               pending_classes=len(heap) + 1)
             remaining = [survivors] + [entry[2] for entry in heap]
             heap = []
             for cls in remaining:

@@ -23,8 +23,17 @@ from repro.cnf.cnf import Cnf
 from repro.cnf.dimacs import parse_dimacs, write_dimacs_file
 from repro.core.pipeline import PIPELINES
 from repro.errors import ReproError
+from repro.obs import (
+    Tracer,
+    configure_logging,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    verbosity_level,
+)
 from repro.sat.backends import (
     BACKEND_NAMES,
+    InternalBackend,
     PortfolioBackend,
     available_backends,
     ensure_available,
@@ -204,6 +213,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
     quiet = args.quiet
 
     _comment(f"repro solve {args.file}", quiet)
+    tracer = get_tracer()
     transform_time = 0.0
     pipeline_name = None
     recipe = None
@@ -212,7 +222,10 @@ def cmd_solve(args: argparse.Namespace) -> int:
         kwargs = pipeline_kwargs_from_args(args, pipeline_name)
         _comment(f"circuit: {instance.num_pis} PIs, {instance.num_pos} POs, "
                  f"{instance.num_ands} AND gates", quiet)
-        cnf, transform_time = PIPELINES[pipeline_name](instance, **kwargs)
+        with tracer.span("preprocess", pipeline=pipeline_name,
+                         instance=str(args.file)) as span:
+            cnf, transform_time = PIPELINES[pipeline_name](instance, **kwargs)
+            span.set(num_vars=cnf.num_vars, num_clauses=cnf.num_clauses)
         recipe = kwargs.get("recipe")
         _comment(f"pipeline {pipeline_name}: encoded in "
                  f"{transform_time:.3f} s", quiet)
@@ -243,9 +256,16 @@ def cmd_solve(args: argparse.Namespace) -> int:
             max_decisions=args.max_decisions)
         result = portfolio_report.result
     else:
+        solve_kwargs = {}
+        if getattr(args, "verbose", 0) and not quiet \
+                and isinstance(backend, InternalBackend):
+            # kissat-style periodic progress lines on stdout 'c' comments.
+            solve_kwargs["progress"] = \
+                lambda snapshot: print(snapshot.progress_line())
         result = backend.solve(cnf, config=config, time_limit=args.time_limit,
                                max_conflicts=args.max_conflicts,
-                               max_decisions=args.max_decisions)
+                               max_decisions=args.max_decisions,
+                               **solve_kwargs)
     solve_time = time.perf_counter() - start
 
     if portfolio_report is not None:
@@ -312,7 +332,10 @@ def cmd_preprocess(args: argparse.Namespace) -> int:
     pipeline_name = resolve_pipeline(args.pipeline)
     kwargs = pipeline_kwargs_from_args(args, pipeline_name)
 
-    cnf, transform_time = PIPELINES[pipeline_name](instance, **kwargs)
+    with get_tracer().span("preprocess", pipeline=pipeline_name,
+                           instance=str(args.file)) as span:
+        cnf, transform_time = PIPELINES[pipeline_name](instance, **kwargs)
+        span.set(num_vars=cnf.num_vars, num_clauses=cnf.num_clauses)
 
     output = Path(args.output) if args.output else Path(
         Path(args.file).stem + f".{args.pipeline.lower().rstrip('.')}.cnf")
@@ -389,6 +412,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    records = read_trace(args.file)
+    if not records:
+        raise CliError(f"no trace records in {args.file}")
+
+    if args.trace_command == "report":
+        from repro.obs.report import format_report, summarize
+
+        summary = summarize(records, top=args.top)
+        if args.json is not None:
+            _write_json(summary.as_dict(), args.json)
+        else:
+            print(format_report(summary))
+        return 0
+
+    # export: Chrome trace_event JSON for chrome://tracing / Perfetto.
+    from repro.obs.export import write_chrome_trace
+
+    output = Path(args.output) if args.output else \
+        Path(args.file).with_suffix(".chrome.json")
+    write_chrome_trace(records, output)
+    print(f"wrote {output}")
+    return 0
+
+
 def cmd_bench(argv: list[str]) -> int:
     # The sweep runner keeps its own parser; ``repro bench`` simply forwards
     # so there is one front door but no duplicated flag definitions.
@@ -452,6 +500,17 @@ def _add_solve_flags(parser: argparse.ArgumentParser) -> None:
                         help="also write a JSON report to PATH ('-' = stdout)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the 'c' comment lines")
+    _add_obs_flags(parser)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a JSONL execution trace to FILE (inspect "
+                             "with 'repro trace report FILE')")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress to stderr (-v info, -vv debug); "
+                             "with the internal solver, also print periodic "
+                             "'c' progress lines")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -535,7 +594,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write a JSON report to PATH ('-' = stdout)")
     sweep.add_argument("-q", "--quiet", action="store_true",
                        help="suppress the 'c' comment lines")
+    _add_obs_flags(sweep)
     sweep.set_defaults(handler=cmd_sweep)
+
+    trace = subparsers.add_parser(
+        "trace", help="summarise or export a JSONL execution trace",
+        description="Inspect a trace written by --trace: 'report' prints "
+                    "per-stage, slowest-span and per-worker breakdowns; "
+                    "'export' converts to Chrome trace_event JSON for "
+                    "chrome://tracing or https://ui.perfetto.dev.")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report", help="print per-stage / per-worker breakdowns")
+    trace_report.add_argument("file", help="trace file (JSONL)")
+    trace_report.add_argument("--top", type=int, default=5, metavar="N",
+                              help="slowest spans to list (default: 5)")
+    trace_report.add_argument("--json", default=None, metavar="PATH",
+                              help="write the report as JSON instead "
+                                   "('-' = stdout)")
+    trace_report.set_defaults(handler=cmd_trace)
+    trace_export = trace_sub.add_parser(
+        "export", help="convert to Chrome trace_event JSON")
+    trace_export.add_argument("file", help="trace file (JSONL)")
+    trace_export.add_argument("-o", "--output", default=None,
+                              help="output path (default: "
+                                   "<trace stem>.chrome.json)")
+    trace_export.set_defaults(handler=cmd_trace)
 
     # ``bench`` is dispatched before parsing (argparse.REMAINDER cannot
     # forward leading options); this stub only makes it appear in --help.
@@ -564,11 +648,19 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "bench":
         return cmd_bench(argv[1:])
     args = build_parser().parse_args(argv)
+    configure_logging(verbosity_level(getattr(args, "verbose", 0),
+                                      getattr(args, "quiet", False)))
+    tracer = Tracer(args.trace) if getattr(args, "trace", None) else None
+    previous = set_tracer(tracer) if tracer is not None else None
     try:
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
+            tracer.close()
 
 
 if __name__ == "__main__":

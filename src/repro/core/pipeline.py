@@ -19,6 +19,7 @@ arguments through ``pipeline_kwargs`` (e.g. ``lut_size`` or an explicit
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from collections.abc import Callable
@@ -28,10 +29,13 @@ from repro.cnf.cnf import Cnf
 from repro.cnf.tseitin import tseitin_encode
 from repro.core.preprocess import Preprocessor
 from repro.core.results import InstanceRun, RunSet
+from repro.obs import get_tracer
 from repro.sat.backends import SolverBackend, resolve_backend
 from repro.sat.configs import SolverConfig
 from repro.sat.solver import SolveResult
 from repro.synthesis.recipe import COMPRESS2_RECIPE
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "PipelineSpec",
@@ -147,11 +151,20 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
     else:
         encode = pipeline
         pipeline_name = getattr(pipeline, "__name__", "custom")
-    cnf, transform_time = encode(instance_aig, **(pipeline_kwargs or {}))
+    tracer = get_tracer()
+    name = instance_name or instance_aig.name
+    logger.info("pipeline %s on %s", pipeline_name, name or "<unnamed>")
+    with tracer.span("preprocess", pipeline=pipeline_name,
+                     instance=name) as span:
+        cnf, transform_time = encode(instance_aig, **(pipeline_kwargs or {}))
+        span.set(num_vars=cnf.num_vars, num_clauses=cnf.num_clauses)
     result: SolveResult = resolve_backend(backend, **(backend_kwargs or {})).solve(
         cnf, config=config, time_limit=time_limit,
         max_conflicts=max_conflicts, max_decisions=max_decisions,
     )
+    logger.info("pipeline %s on %s: %s (%.3f s transform, %.3f s solve)",
+                pipeline_name, name or "<unnamed>", result.status,
+                transform_time, result.stats.solve_time)
     return InstanceRun(
         instance_name=instance_name or instance_aig.name,
         pipeline_name=pipeline_name,

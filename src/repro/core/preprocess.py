@@ -16,6 +16,7 @@ solving time exactly as the paper does for its "overall runtime".
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 
@@ -26,7 +27,10 @@ from repro.features.deepgate import DeepGateEmbedder
 from repro.mapping.cost import area_cost, branching_cost
 from repro.mapping.lut import LutNetlist
 from repro.mapping.mapper import map_aig
+from repro.obs import get_tracer
 from repro.synthesis.recipe import apply_recipe, initial_recipe
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -83,20 +87,32 @@ class Preprocessor:
     def preprocess(self, aig: AIG) -> PreprocessResult:
         """Run the full preprocessing pipeline on ``aig``."""
         start = time.perf_counter()
-        recipe = self._choose_recipe(aig)
-        transformed = aig
-        if self.apply_initial_recipe:
-            transformed = apply_recipe(transformed, initial_recipe())
-        transformed = apply_recipe(transformed, recipe)
+        tracer = get_tracer()
+        with tracer.span("recipe") as span:
+            recipe = self._choose_recipe(aig)
+            transformed = aig
+            if self.apply_initial_recipe:
+                transformed = apply_recipe(transformed, initial_recipe())
+            transformed = apply_recipe(transformed, recipe)
+            span.set(steps=len(recipe), nodes=transformed.num_ands)
+        logger.debug("recipe %s: %d AND nodes", recipe, transformed.num_ands)
         if self.sweep:
             from repro.aig.sweep import sweep_aig
 
+            # sweep_aig opens its own "sweep" span.
             transformed = sweep_aig(transformed,
                                     **(self.sweep_kwargs or {})).aig
         cost_fn = branching_cost if self.use_branching_cost else area_cost
-        mapping = map_aig(transformed, k=self.lut_size, cost_fn=cost_fn)
-        cnf = lut_netlist_to_cnf(mapping.netlist)
+        with tracer.span("map", lut_size=self.lut_size) as span:
+            mapping = map_aig(transformed, k=self.lut_size, cost_fn=cost_fn)
+            span.set(luts=mapping.netlist.num_luts,
+                     cost=mapping.total_cost)
+        with tracer.span("encode") as span:
+            cnf = lut_netlist_to_cnf(mapping.netlist)
+            span.set(num_vars=cnf.num_vars, num_clauses=cnf.num_clauses)
         elapsed = time.perf_counter() - start
+        logger.debug("preprocess done in %.3f s: %d vars, %d clauses",
+                     elapsed, cnf.num_vars, cnf.num_clauses)
         return PreprocessResult(
             cnf=cnf,
             final_aig=transformed,

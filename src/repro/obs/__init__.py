@@ -1,0 +1,62 @@
+"""``repro.obs`` — zero-dependency tracing, metrics and logging.
+
+The observability layer of the stack (see ``docs/observability.md``):
+
+* :class:`Tracer` / :func:`get_tracer` / :func:`set_tracer` — spans with
+  wall/CPU time and attributes, point events, JSONL trace files, and the
+  process-global active tracer the execution layers consult
+  (:mod:`repro.obs.trace`);
+* :class:`MetricsRegistry` — counters, gauges and histograms, flushed into
+  the trace stream on close (:mod:`repro.obs.metrics`);
+* cross-process merge — workers write per-process span files which the
+  parent absorbs into one tree (:mod:`repro.obs.merge`,
+  :meth:`Tracer.absorb`);
+* exporters and reporting — Chrome ``trace_event`` JSON for
+  ``chrome://tracing`` (:mod:`repro.obs.export`) and the per-stage /
+  per-worker summary behind ``repro trace report``
+  (:mod:`repro.obs.report`);
+* :func:`configure_logging` — the one logging setup shared by every CLI
+  (:mod:`repro.obs.logconf`).
+
+Everything is disabled by default: without an installed tracer,
+instrumented code touches only :data:`NULL_TRACER` no-ops, so the solver
+and runner hot paths pay (measurably, see the ``obs_overhead`` perf
+benchmark) nothing.
+"""
+
+from repro.obs.logconf import configure_logging, verbosity_level
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "read_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "configure_logging",
+    "verbosity_level",
+]

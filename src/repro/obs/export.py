@@ -1,0 +1,89 @@
+"""Chrome ``trace_event`` export: flamegraphs from ``chrome://tracing``.
+
+Converts a repro trace (JSONL records from :mod:`repro.obs.trace`) into the
+Trace Event Format consumed by ``chrome://tracing`` and Perfetto: spans
+become complete events (``ph: "X"``, microsecond timestamps relative to the
+trace start) and point events become instant events (``ph: "i"``).  Workers
+map to thread lanes, so a merged portfolio trace renders as one lane per
+worker under the parent process — the standard flamegraph view of a
+parallel solve.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.merge import events_of, spans_of
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def _lane(record: dict) -> tuple[int, str]:
+    """(tid, thread name) for a record: one lane per worker, lane 0 = main."""
+    worker = record.get("worker")
+    if worker is None:
+        return 0, "main"
+    # Stable small tids: hash the worker label into a positive lane id.
+    return (hash(worker) & 0x7FFF) + 1, str(worker)
+
+
+def to_chrome_trace(records: list[dict]) -> dict:
+    """Build a Trace Event Format document from trace records."""
+    spans = spans_of(records)
+    events = events_of(records)
+    if not spans and not events:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(record["ts"] for record in spans + events)
+    trace_events: list[dict] = []
+    named_lanes: dict[tuple[int, int], str] = {}
+    for span in spans:
+        tid, lane_name = _lane(span)
+        pid = span.get("pid", 0)
+        named_lanes[(pid, tid)] = lane_name
+        entry = {
+            "name": span["name"],
+            "cat": "span",
+            "ph": "X",
+            "ts": (span["ts"] - t0) * 1e6,
+            "dur": span["dur"] * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        args = dict(span.get("attrs") or {})
+        if "cpu" in span:
+            args["cpu_s"] = span["cpu"]
+        if args:
+            entry["args"] = args
+        trace_events.append(entry)
+    for event in events:
+        tid, lane_name = _lane(event)
+        pid = event.get("pid", 0)
+        named_lanes[(pid, tid)] = lane_name
+        entry = {
+            "name": event["name"],
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "ts": (event["ts"] - t0) * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if event.get("attrs"):
+            entry["args"] = event["attrs"]
+        trace_events.append(entry)
+    for (pid, tid), lane_name in sorted(named_lanes.items()):
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": lane_name},
+        })
+    trace_events.sort(key=lambda entry: entry.get("ts", 0.0))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: list[dict], path: str | Path) -> Path:
+    """Write the Chrome trace JSON for ``records`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(records), default=str) + "\n")
+    return path

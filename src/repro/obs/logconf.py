@@ -1,0 +1,63 @@
+"""One logging configuration for every repro entry point.
+
+The package's modules follow the stdlib convention — a module-level
+``logging.getLogger(__name__)`` each, no handlers of their own — so library
+users integrate repro logs into their existing setup for free.  The CLIs
+call :func:`configure_logging` once, mapping their ``-v``/``-q`` flags to a
+level through :func:`verbosity_level`:
+
+===========  =========
+flags        level
+===========  =========
+``-q``       ``ERROR``
+(default)    ``WARNING``
+``-v``       ``INFO``
+``-vv``      ``DEBUG``
+===========  =========
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "verbosity_level"]
+
+#: The root logger of the package; every ``repro.*`` module logger is below it.
+PACKAGE_LOGGER = "repro"
+
+#: ``verbosity -> logging level`` (clamped at both ends).
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING,
+           1: logging.INFO, 2: logging.DEBUG}
+
+
+def verbosity_level(verbose: int = 0, quiet: bool = False) -> int:
+    """Map CLI ``-v`` counts and ``-q`` to a :mod:`logging` level."""
+    verbosity = -1 if quiet else min(int(verbose), 2)
+    return _LEVELS[max(-1, verbosity)]
+
+
+def configure_logging(level: int | str = logging.WARNING,
+                      stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree for CLI use; return the logger.
+
+    Attaches one stream handler (stderr by default, so log lines never
+    pollute machine-readable stdout such as DIMACS or the SAT-competition
+    ``s``/``v`` lines) with a compact ``level module: message`` format.
+    Idempotent: calling again replaces the handler and level instead of
+    stacking handlers, so tests and long-lived processes can reconfigure.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown logging level {level!r}")
+    logger = logging.getLogger(PACKAGE_LOGGER)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "%(levelname).1s %(name)s: %(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,131 @@
+"""Cross-process trace utilities: span-tree assembly, validation, merging.
+
+The runtime merge path is :meth:`repro.obs.trace.Tracer.absorb` — the parent
+re-emits each worker's records into its own stream as workers finish.  This
+module provides the complementary offline pieces:
+
+* :func:`merge_trace_files` combines already-written trace files into one
+  (e.g. stitching the traces of several independent CLI invocations);
+* :func:`build_tree` / :func:`validate_tree` turn flat span records into a
+  parent/children index and check the structural invariants a merged trace
+  must satisfy (no orphans, timestamps consistent with nesting) — the same
+  checks the test suite runs against portfolio and batch-runner traces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import TRACE_SCHEMA, read_trace
+
+__all__ = [
+    "merge_trace_files",
+    "spans_of",
+    "events_of",
+    "build_tree",
+    "validate_tree",
+]
+
+#: Wall-clock slack allowed between a parent's start and a child's start
+#: (``time.time()`` has finite resolution and processes round separately).
+_CLOCK_SLACK = 0.005
+
+
+def spans_of(records: list[dict]) -> list[dict]:
+    """The span records of a trace, in file order."""
+    return [record for record in records if record.get("type") == "span"]
+
+
+def events_of(records: list[dict]) -> list[dict]:
+    """The event records of a trace, in file order."""
+    return [record for record in records if record.get("type") == "event"]
+
+
+def merge_trace_files(paths: list[str | Path], out: str | Path) -> int:
+    """Concatenate trace files into one, keeping a single ``meta`` record.
+
+    Records keep their span ids (ids embed the producing pid, so distinct
+    processes never collide).  Returns the number of records written.
+    """
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    written = 0
+    with out.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "meta", "schema": TRACE_SCHEMA,
+                                 "merged_from": [str(p) for p in paths]})
+                     + "\n")
+        written += 1
+        for path in paths:
+            for record in read_trace(path):
+                if record.get("type") == "meta":
+                    continue
+                handle.write(json.dumps(record, default=str,
+                                        separators=(",", ":")) + "\n")
+                written += 1
+    return written
+
+
+def build_tree(records: list[dict]) -> tuple[dict[str, dict], dict[str, list[dict]]]:
+    """Index spans by id and by parent.
+
+    Returns ``(by_id, children)`` where ``children[span_id]`` lists the
+    direct child spans and ``children[""]`` the roots.
+    """
+    by_id: dict[str, dict] = {}
+    children: dict[str, list[dict]] = {"": []}
+    for span in spans_of(records):
+        by_id[span["id"]] = span
+    for span in by_id.values():
+        parent = span.get("parent")
+        key = parent if parent is not None else ""
+        children.setdefault(key, []).append(span)
+    return by_id, children
+
+
+def validate_tree(records: list[dict]) -> list[str]:
+    """Check the structural invariants of a merged trace.
+
+    Returns a list of human-readable problems (empty = valid):
+
+    * every span's ``parent`` id resolves to a span in the trace (no
+      orphans);
+    * every event's ``span`` id resolves;
+    * a child span starts no earlier than its parent (monotonic timestamps,
+      modulo clock granularity) and ends no later than the parent ends;
+    * span ids are unique.
+    """
+    problems: list[str] = []
+    spans = spans_of(records)
+    by_id: dict[str, dict] = {}
+    for span in spans:
+        if span["id"] in by_id:
+            problems.append(f"duplicate span id {span['id']}")
+        by_id[span["id"]] = span
+    for span in spans:
+        parent_id = span.get("parent")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(f"span {span['id']} ({span['name']}) has "
+                            f"unknown parent {parent_id}")
+            continue
+        if span["ts"] < parent["ts"] - _CLOCK_SLACK:
+            problems.append(
+                f"span {span['id']} ({span['name']}) starts "
+                f"{parent['ts'] - span['ts']:.6f}s before its parent "
+                f"{parent['name']}")
+        child_end = span["ts"] + span["dur"]
+        parent_end = parent["ts"] + parent["dur"]
+        if child_end > parent_end + _CLOCK_SLACK:
+            problems.append(
+                f"span {span['id']} ({span['name']}) ends "
+                f"{child_end - parent_end:.6f}s after its parent "
+                f"{parent['name']}")
+    for event in events_of(records):
+        span_id = event.get("span")
+        if span_id is not None and span_id not in by_id:
+            problems.append(f"event {event['name']} references unknown "
+                            f"span {span_id}")
+    return problems

@@ -1,0 +1,176 @@
+"""Process-local metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a named bag of instruments.  Instruments are
+deliberately tiny — an attribute bump, no locks, no label cartesian products
+— because they sit on solver and runner paths where a metrics layer must
+cost nanoseconds, not microseconds.  The registry serialises to one plain
+dictionary (:meth:`MetricsRegistry.snapshot`), which the tracer appends to
+the trace stream on close so metrics travel with the spans they describe.
+
+A disabled pipeline uses :data:`NULL_METRICS`, whose instruments are shared
+no-op singletons: code can bump counters unconditionally and the off path
+stays a single dynamic dispatch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, learned-DB size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict[str, float]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A streaming summary of observations: count, sum, min, max.
+
+    Full bucketing is overkill for the trace report's needs (totals and
+    extremes per stage); the four running aggregates cost four attribute
+    writes per observation and still support mean/min/max reporting.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0}
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and reused afterwards."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as one JSON-able dictionary."""
+        return {
+            "counters": {name: instrument.as_dict()
+                         for name, instrument in sorted(self._counters.items())},
+            "gauges": {name: instrument.as_dict()
+                       for name, instrument in sorted(self._gauges.items())},
+            "histograms": {name: instrument.as_dict()
+                           for name, instrument in sorted(self._histograms.items())},
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for the disabled path."""
+
+    __slots__ = ()
+    name = "null"
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def as_dict(self) -> dict[str, float]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullRegistry:
+    """Registry returned by the null tracer: every instrument is a no-op."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __bool__(self) -> bool:
+        return False
+
+    def snapshot(self) -> dict[str, dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = _NullRegistry()

@@ -1,0 +1,179 @@
+"""Trace summarisation: the engine behind ``repro trace report``.
+
+Aggregates a trace (see :mod:`repro.obs.trace`) into the three views a
+stalled or slow run is diagnosed with:
+
+* **per-stage breakdown** — spans grouped by name: count, total/mean wall
+  time, total CPU time (a stage whose wall time dwarfs its CPU time is
+  waiting, not computing);
+* **slowest spans** — the individual spans with the largest wall time,
+  with their attributes (which task, which worker, which config);
+* **per-worker utilisation** — for each worker label, the fraction of the
+  trace's wall-clock it spent inside its own top-level spans; an idle
+  portfolio worker or a starved pool shows up immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.merge import build_tree, events_of, spans_of
+
+__all__ = ["StageSummary", "WorkerSummary", "TraceSummary",
+           "summarize", "format_report"]
+
+
+@dataclass
+class StageSummary:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    cpu_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class WorkerSummary:
+    """Busy time of one worker label across the trace."""
+
+    worker: str
+    spans: int = 0
+    busy_s: float = 0.0
+    utilization: float = 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace report`` prints."""
+
+    num_spans: int = 0
+    num_events: int = 0
+    wall_s: float = 0.0
+    stages: list[StageSummary] = field(default_factory=list)
+    slowest: list[dict] = field(default_factory=list)
+    workers: list[WorkerSummary] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "num_spans": self.num_spans,
+            "num_events": self.num_events,
+            "wall_s": self.wall_s,
+            "stages": [vars(stage) for stage in self.stages],
+            "slowest": self.slowest,
+            "workers": [vars(worker) for worker in self.workers],
+            "metrics": self.metrics,
+            "problems": list(self.problems),
+        }
+
+
+def summarize(records: list[dict], top: int = 5) -> TraceSummary:
+    """Aggregate trace ``records`` into a :class:`TraceSummary`."""
+    from repro.obs.merge import validate_tree
+
+    spans = spans_of(records)
+    events = events_of(records)
+    summary = TraceSummary(num_spans=len(spans), num_events=len(events))
+    if not spans:
+        return summary
+    start = min(span["ts"] for span in spans)
+    end = max(span["ts"] + span["dur"] for span in spans)
+    summary.wall_s = end - start
+
+    stages: dict[str, StageSummary] = {}
+    for span in spans:
+        stage = stages.get(span["name"])
+        if stage is None:
+            stage = stages[span["name"]] = StageSummary(name=span["name"])
+        stage.count += 1
+        stage.total_s += span["dur"]
+        stage.cpu_s += span.get("cpu", 0.0)
+        stage.max_s = max(stage.max_s, span["dur"])
+    summary.stages = sorted(stages.values(), key=lambda s: -s.total_s)
+
+    summary.slowest = [
+        {"name": span["name"], "dur_s": span["dur"],
+         "worker": span.get("worker"), "attrs": span.get("attrs") or {}}
+        for span in sorted(spans, key=lambda s: -s["dur"])[:top]
+    ]
+
+    # Per-worker busy time: sum each worker's spans that are not nested in
+    # another span of the same worker (avoids double counting the hierarchy).
+    by_id, _ = build_tree(records)
+    workers: dict[str, WorkerSummary] = {}
+    for span in spans:
+        worker = span.get("worker")
+        if worker is None:
+            continue
+        entry = workers.get(worker)
+        if entry is None:
+            entry = workers[worker] = WorkerSummary(worker=str(worker))
+        entry.spans += 1
+        parent = by_id.get(span.get("parent") or "")
+        if parent is None or parent.get("worker") != worker:
+            entry.busy_s += span["dur"]
+    for entry in workers.values():
+        entry.utilization = (entry.busy_s / summary.wall_s
+                             if summary.wall_s > 0 else 0.0)
+    summary.workers = sorted(workers.values(), key=lambda w: w.worker)
+
+    for record in records:
+        if record.get("type") == "metrics":
+            for kind in ("counters", "gauges", "histograms"):
+                for name, value in (record.get(kind) or {}).items():
+                    summary.metrics.setdefault(kind, {})[name] = value
+
+    summary.problems = validate_tree(records)
+    return summary
+
+
+def format_report(summary: TraceSummary) -> str:
+    """Render a :class:`TraceSummary` as the CLI's fixed-width text report."""
+    lines = [f"trace: {summary.num_spans} spans, {summary.num_events} events, "
+             f"wall {summary.wall_s:.3f} s"]
+    if summary.stages:
+        lines.append("")
+        lines.append(f"{'stage':<24} {'count':>6} {'total':>10} {'mean':>10} "
+                     f"{'max':>10} {'cpu':>10}")
+        lines.append("-" * 74)
+        for stage in summary.stages:
+            lines.append(
+                f"{stage.name:<24} {stage.count:>6} "
+                f"{stage.total_s * 1000:>8.1f}ms {stage.mean_s * 1000:>8.1f}ms "
+                f"{stage.max_s * 1000:>8.1f}ms {stage.cpu_s * 1000:>8.1f}ms")
+    if summary.slowest:
+        lines.append("")
+        lines.append("slowest spans:")
+        for entry in summary.slowest:
+            where = f" [{entry['worker']}]" if entry.get("worker") else ""
+            attrs = ", ".join(f"{key}={value}"
+                              for key, value in sorted(entry["attrs"].items()))
+            lines.append(f"  {entry['dur_s'] * 1000:>8.1f}ms "
+                         f"{entry['name']}{where}"
+                         + (f"  ({attrs})" if attrs else ""))
+    if summary.workers:
+        lines.append("")
+        lines.append(f"{'worker':<12} {'spans':>6} {'busy':>10} {'util':>7}")
+        lines.append("-" * 38)
+        for worker in summary.workers:
+            lines.append(f"{worker.worker:<12} {worker.spans:>6} "
+                         f"{worker.busy_s * 1000:>8.1f}ms "
+                         f"{worker.utilization * 100:>6.1f}%")
+    if summary.metrics.get("counters"):
+        lines.append("")
+        lines.append("counters:")
+        for name, value in sorted(summary.metrics["counters"].items()):
+            lines.append(f"  {name} = {value.get('value')}")
+    if summary.problems:
+        lines.append("")
+        lines.append("structural problems:")
+        for problem in summary.problems:
+            lines.append(f"  ! {problem}")
+    return "\n".join(lines)

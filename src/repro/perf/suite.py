@@ -18,8 +18,10 @@ numbers.
 
 from __future__ import annotations
 
+import os
 import random
 import statistics
+import tempfile
 import time
 from dataclasses import replace
 
@@ -30,6 +32,7 @@ from repro.benchgen.lec import corner_case_miter, multiplier_commutativity_miter
 from repro.benchgen.random_logic import pigeonhole_cnf, random_aig, random_cnf
 from repro.cnf.cnf import Cnf
 from repro.cnf.tseitin import tseitin_encode
+from repro.obs import Tracer, read_trace, use_tracer
 from repro.perf.bench import Benchmark
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
 from repro.sat.portfolio import solve_cube_and_conquer, solve_portfolio
@@ -121,6 +124,57 @@ def _incremental_setup(num_vars: int, num_queries: int,
                 suffix.append(var if rng.random() < 0.5 else -var)
         queries.append(prefix + suffix)
     return cnf, queries
+
+
+def _obs_overhead_batch(cnfs: list[Cnf]) -> dict[str, float]:
+    """Solver throughput with tracing off vs. fully instrumented.
+
+    The timed region covers both passes; the counters record the split.  The
+    ``off`` pass is the default production path — no active tracer, no
+    progress hook — and is the number the <3% off-path regression gate in
+    the obs PR is about.  The ``on`` pass wraps every solve in a span on a
+    file-backed :class:`~repro.obs.trace.Tracer` and streams progress events
+    every 64 conflicts, so ``overhead`` is the worst-case ratio a fully
+    instrumented run pays over the untraced one.
+    """
+    start = time.perf_counter()
+    off_conflicts = 0
+    for cnf in cnfs:
+        off_conflicts += solve_cnf(cnf).stats.conflicts
+    off_s = time.perf_counter() - start
+
+    handle, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro-obs-")
+    os.close(handle)
+    tracer = Tracer(path)
+    on_conflicts = events = 0
+    try:
+        with use_tracer(tracer):
+            start = time.perf_counter()
+            for cnf in cnfs:
+                with tracer.span("solve") as span:
+                    result = solve_cnf(
+                        cnf,
+                        progress=lambda s: tracer.event("progress",
+                                                        conflicts=s.conflicts),
+                        progress_interval=64)
+                    span.set(status=result.status)
+                on_conflicts += result.stats.conflicts
+            on_s = time.perf_counter() - start
+        tracer.close()
+        events = sum(record["type"] == "event" for record in read_trace(path))
+    finally:
+        tracer.close()
+        os.unlink(path)
+
+    return {
+        "instances": len(cnfs),
+        "conflicts": off_conflicts,
+        "conflicts_agree": off_conflicts == on_conflicts,
+        "progress_events": events,
+        "off_ms": off_s * 1000.0,
+        "on_ms": on_s * 1000.0,
+        "overhead": round(on_s / off_s, 3) if off_s > 0 else 0.0,
+    }
 
 
 def _portfolio_pool() -> list[SolverConfig]:
@@ -262,6 +316,8 @@ def default_suite(quick: bool = False) -> list[Benchmark]:
     corner_seeds = (0, 1) if quick else (3, 10, 16)
     cube_width = 4 if quick else 5
     cube_split = 5 if quick else 7
+    obs_vars = 80 if quick else 100
+    obs_seeds = range(2) if quick else range(4)
 
     benchmarks = [
         Benchmark(
@@ -339,6 +395,19 @@ def default_suite(quick: bool = False) -> list[Benchmark]:
                 multiplier_commutativity_miter(cube_width)),
                 list(range(1, cube_split + 1))),
             run=_cube_conquer_batch,
+        ),
+        Benchmark(
+            name="obs_overhead",
+            category="solver",
+            description=(f"tracing overhead: {obs_vars}-var 3-SAT x "
+                         f"{len(obs_seeds)} seeds solved untraced, then with "
+                         f"spans + progress events every 64 conflicts to a "
+                         f"file-backed tracer; 'overhead' = on/off time "
+                         f"ratio"),
+            setup=lambda: [random_cnf(obs_vars, int(obs_vars * 4.26), seed,
+                                      min_width=3, max_width=3)
+                           for seed in obs_seeds],
+            run=_obs_overhead_batch,
         ),
         Benchmark(
             name="cuts_enumerate",

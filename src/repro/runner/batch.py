@@ -24,7 +24,10 @@ Results are returned in task order regardless of completion order.
 from __future__ import annotations
 
 import logging
+import os
+import shutil
 import signal
+import tempfile
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -32,6 +35,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.pipeline import run_pipeline
 from repro.core.results import InstanceRun
+from repro.obs import Tracer, get_tracer, set_tracer
 from repro.runner.store import ResultStore
 from repro.runner.task import Task
 from repro.sat.configs import SolverConfig
@@ -70,6 +74,10 @@ def execute_task(task: Task) -> InstanceRun:
     previous_handler = None
     previous_timer = (0.0, 0.0)
     start = time.perf_counter()
+    tracer = get_tracer()
+    attrs = {"instance": task.instance_name, "pipeline": task.group_name}
+    if tracer.enabled:
+        attrs["fingerprint"] = task.fingerprint()[:16]
 
     def disarm() -> None:
         # Re-arm any timer the caller had pending (jobs=1 runs in the
@@ -83,33 +91,54 @@ def execute_task(task: Task) -> InstanceRun:
     # run_pipeline returning and the inner finally disarming it; a
     # HardTimeout raised there must still become a TIMEOUT run, never escape
     # and abort the whole sweep.
-    try:
+    with tracer.span("task", **attrs) as span:
         try:
-            if use_alarm:
-                previous_handler = signal.signal(signal.SIGALRM,
-                                                 _raise_hard_timeout)
-                previous_timer = signal.setitimer(signal.ITIMER_REAL,
-                                                  task.hard_timeout)
-            run = run_pipeline(
-                aig, task.pipeline,
-                instance_name=task.instance_name,
-                config=config,
-                time_limit=task.time_limit,
-                pipeline_kwargs=task.pipeline_kwargs,
-                backend=task.backend,
-                backend_kwargs=task.backend_kwargs,
-            )
-        finally:
+            try:
+                if use_alarm:
+                    previous_handler = signal.signal(signal.SIGALRM,
+                                                     _raise_hard_timeout)
+                    previous_timer = signal.setitimer(signal.ITIMER_REAL,
+                                                      task.hard_timeout)
+                run = run_pipeline(
+                    aig, task.pipeline,
+                    instance_name=task.instance_name,
+                    config=config,
+                    time_limit=task.time_limit,
+                    pipeline_kwargs=task.pipeline_kwargs,
+                    backend=task.backend,
+                    backend_kwargs=task.backend_kwargs,
+                )
+            finally:
+                disarm()
+        except HardTimeout:
             disarm()
-    except HardTimeout:
-        disarm()
-        run = _aborted_run(task, "TIMEOUT", time.perf_counter() - start)
-    except Exception:
-        disarm()
-        logger.exception("task %s/%s failed", task.instance_name, task.pipeline)
-        run = _aborted_run(task, "ERROR", time.perf_counter() - start)
+            run = _aborted_run(task, "TIMEOUT", time.perf_counter() - start)
+        except Exception:
+            disarm()
+            logger.exception("task %s/%s failed", task.instance_name,
+                             task.pipeline)
+            run = _aborted_run(task, "ERROR", time.perf_counter() - start)
+        span.set(status=run.status)
     run.pipeline_name = task.group_name
     return run
+
+
+def _execute_task_traced(task: Task, trace_path: str | None) -> InstanceRun:
+    """Pool entry point: run the task under its own per-process tracer.
+
+    Pool workers cannot share the parent's tracer (see
+    :func:`repro.obs.get_tracer`); each task writes its spans to its own
+    JSONL file, which the parent absorbs as the future completes.
+    """
+    if trace_path is None:
+        return execute_task(task)
+    tracer = Tracer(trace_path, worker=f"pool-{os.getpid()}")
+    previous = set_tracer(tracer)
+    try:
+        return execute_task(task)
+    finally:
+        set_tracer(previous)
+        tracer.close()
 
 
 def _relabelled(run: InstanceRun, task: Task) -> InstanceRun:
@@ -176,28 +205,39 @@ class BatchRunner:
         """Run ``tasks`` and return their results in task order."""
         runs: list[InstanceRun | None] = [None] * len(tasks)
         fingerprints = [task.fingerprint() for task in tasks]
+        tracer = get_tracer()
+        logger.info("batch: %d tasks across %d jobs", len(tasks), self.jobs)
 
-        # Cache pass: serve completed work from the store, dedupe the rest.
-        pending: dict[str, tuple[int, Task]] = {}
-        duplicates: list[tuple[int, str]] = []
-        cache_hits = 0
-        for index, (task, fingerprint) in enumerate(zip(tasks, fingerprints)):
-            cached = self.store.get(fingerprint) if self.store is not None else None
-            if cached is not None:
-                runs[index] = _relabelled(cached, task)
-                cache_hits += 1
-            elif fingerprint in pending:
-                duplicates.append((index, fingerprint))
-            else:
-                pending[fingerprint] = (index, task)
+        with tracer.span("batch", tasks=len(tasks), jobs=self.jobs) as span:
+            # Cache pass: serve completed work from the store, dedupe the
+            # rest.
+            pending: dict[str, tuple[int, Task]] = {}
+            duplicates: list[tuple[int, str]] = []
+            cache_hits = 0
+            for index, (task, fingerprint) in enumerate(zip(tasks,
+                                                            fingerprints)):
+                cached = self.store.get(fingerprint) \
+                    if self.store is not None else None
+                if cached is not None:
+                    runs[index] = _relabelled(cached, task)
+                    cache_hits += 1
+                elif fingerprint in pending:
+                    duplicates.append((index, fingerprint))
+                else:
+                    pending[fingerprint] = (index, task)
 
-        fresh: dict[str, InstanceRun] = {}
-        if pending:
-            fresh = self._execute(pending)
-            for fingerprint, run in fresh.items():
-                runs[pending[fingerprint][0]] = run
-        for index, fingerprint in duplicates:
-            runs[index] = _relabelled(fresh[fingerprint], tasks[index])
+            fresh: dict[str, InstanceRun] = {}
+            if pending:
+                fresh = self._execute(pending)
+                for fingerprint, run in fresh.items():
+                    runs[pending[fingerprint][0]] = run
+            for index, fingerprint in duplicates:
+                runs[index] = _relabelled(fresh[fingerprint], tasks[index])
+            span.set(cache_hits=cache_hits, executed=len(pending))
+        tracer.metrics.counter("batch.cache_hits").inc(cache_hits)
+        tracer.metrics.counter("batch.executed").inc(len(pending))
+        logger.info("batch: %d cache hits, %d executed",
+                    cache_hits, len(pending))
 
         assert all(run is not None for run in runs)
         return BatchReport(runs=runs, cache_hits=cache_hits,
@@ -213,19 +253,37 @@ class BatchRunner:
         items = list(pending.items())
         results: dict[str, InstanceRun] = {}
         if self.jobs == 1 or len(items) == 1:
+            # In-process execution traces straight onto the active tracer.
             for fingerprint, (_, task) in items:
                 results[fingerprint] = self._finish(fingerprint, task,
                                                     execute_task(task))
             return results
         workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(execute_task, task): fingerprint
-                       for fingerprint, (_, task) in items}
-            for future in as_completed(futures):
-                fingerprint = futures[future]
-                task = pending[fingerprint][1]
-                results[fingerprint] = self._finish(fingerprint, task,
-                                                    future.result())
+        tracer = get_tracer()
+        parent = tracer.current_span
+        parent_id = parent.span_id if parent is not None else None
+        trace_dir = tempfile.mkdtemp(prefix="repro-trace-") \
+            if tracer.enabled else None
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {}
+                for fingerprint, (_, task) in items:
+                    trace_path = os.path.join(
+                        trace_dir, f"{fingerprint[:16]}.jsonl") \
+                        if trace_dir is not None else None
+                    future = pool.submit(_execute_task_traced, task,
+                                         trace_path)
+                    futures[future] = (fingerprint, trace_path)
+                for future in as_completed(futures):
+                    fingerprint, trace_path = futures[future]
+                    task = pending[fingerprint][1]
+                    results[fingerprint] = self._finish(fingerprint, task,
+                                                        future.result())
+                    if trace_path is not None:
+                        tracer.absorb(trace_path, parent_id=parent_id)
+        finally:
+            if trace_dir is not None:
+                shutil.rmtree(trace_dir, ignore_errors=True)
         return results
 
     def _finish(self, fingerprint: str, task: Task,

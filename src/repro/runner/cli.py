@@ -23,6 +23,7 @@ from repro.benchgen.suite import (
 )
 from repro.core.pipeline import PIPELINES
 from repro.errors import BackendError
+from repro.obs import Tracer, configure_logging, use_tracer, verbosity_level
 from repro.runner.batch import BatchRunner
 from repro.runner.store import ResultStore
 from repro.runner.task import Task
@@ -99,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "results/<suite>_size<N>_seed<S>_<solver>.jsonl)")
     parser.add_argument("--lut-size", type=int, default=None,
                         help="LUT size forwarded to the Comp./Ours mappers")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="write a JSONL trace of the sweep (inspect with "
+                             "'repro trace report FILE')")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress to stderr (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only log errors")
     return parser
 
 
@@ -125,6 +133,7 @@ def build_tasks(instances: list[CsatInstance], pipelines: list[str],
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(verbosity_level(args.verbose, args.quiet))
 
     generator, default_seed = SUITES[args.suite]
     seed = args.seed if args.seed is not None else default_seed
@@ -164,7 +173,14 @@ def main(argv: list[str] | None = None) -> int:
           f"{len(args.pipelines)} pipelines = {len(tasks)} tasks "
           f"({args.jobs} jobs, store {store_path})")
 
-    report = BatchRunner(jobs=args.jobs, store=store).run(tasks)
+    tracer = Tracer(args.trace) if args.trace is not None else None
+    try:
+        with use_tracer(tracer):
+            report = BatchRunner(jobs=args.jobs, store=store).run(tasks)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"Trace written to {args.trace}")
 
     # Imported here: eval builds on the runner, not the other way round.
     from repro.eval.runtime import RuntimeComparison

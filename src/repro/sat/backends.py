@@ -33,6 +33,7 @@ be reproduced against the genuine solvers whenever they are installed.
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 import shutil
@@ -44,9 +45,12 @@ from typing import Protocol, runtime_checkable
 
 from repro.cnf.cnf import Cnf
 from repro.errors import BackendError, BackendUnavailableError
+from repro.obs import get_tracer
 from repro.sat.configs import SolverConfig
-from repro.sat.solver import SolveResult, solve_cnf
+from repro.sat.solver import DEFAULT_PROGRESS_INTERVAL, SolveResult, solve_cnf
 from repro.sat.stats import SolverStats
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "SolverBackend",
@@ -113,6 +117,24 @@ class SolverBackend(Protocol):
         ...
 
 
+def _compose_progress(tracer, progress):
+    """Fold the active tracer and a caller callback into one progress hook.
+
+    Returns ``None`` when neither wants snapshots, so the solver's progress
+    machinery stays fully disarmed on the common path.
+    """
+    if not tracer.enabled and progress is None:
+        return progress
+
+    def hook(snapshot):
+        if tracer.enabled:
+            tracer.event("progress", **snapshot.as_dict())
+        if progress is not None:
+            progress(snapshot)
+
+    return hook
+
+
 class InternalBackend:
     """The built-in pure-Python CDCL solver (:func:`repro.sat.solver.solve_cnf`)."""
 
@@ -125,11 +147,30 @@ class InternalBackend:
               time_limit: float | None = None,
               max_conflicts: int | None = None,
               max_decisions: int | None = None,
-              assumptions: list[int] | None = None) -> SolveResult:
-        return solve_cnf(cnf, config=config, time_limit=time_limit,
-                         max_conflicts=max_conflicts,
-                         max_decisions=max_decisions,
-                         assumptions=assumptions)
+              assumptions: list[int] | None = None,
+              progress=None,
+              progress_interval: int = DEFAULT_PROGRESS_INTERVAL) -> SolveResult:
+        """Solve ``cnf`` with the built-in CDCL solver.
+
+        ``progress`` (a :class:`repro.sat.stats.ProgressSnapshot` callback,
+        sampled every ``progress_interval`` conflicts) is specific to this
+        backend; when a tracer is active each snapshot is also recorded as a
+        ``progress`` trace event and the whole run as a ``solve`` span.
+        """
+        tracer = get_tracer()
+        logger.debug("internal solve: %d vars, %d clauses",
+                     cnf.num_vars, len(cnf.clauses))
+        with tracer.span("solve", backend=self.name, num_vars=cnf.num_vars,
+                         num_clauses=len(cnf.clauses)) as span:
+            result = solve_cnf(cnf, config=config, time_limit=time_limit,
+                               max_conflicts=max_conflicts,
+                               max_decisions=max_decisions,
+                               assumptions=assumptions,
+                               progress=_compose_progress(tracer, progress),
+                               progress_interval=progress_interval)
+            span.set(status=result.status, conflicts=result.stats.conflicts,
+                     decisions=result.stats.decisions)
+        return result
 
     def incremental(self, cnf: Cnf,
                     config: SolverConfig | None = None) -> "CdclSolver":
@@ -220,7 +261,16 @@ class SubprocessBackend:
         report the trivial core (all assumptions) — callers that need
         minimised cores use the internal backend.
         """
-        del config, max_conflicts, max_decisions
+        tracer = get_tracer()
+        with tracer.span("solve", backend=self.name, num_vars=cnf.num_vars,
+                         num_clauses=len(cnf.clauses)) as span:
+            result = self._solve(cnf, time_limit=time_limit,
+                                 assumptions=assumptions)
+            span.set(status=result.status)
+        return result
+
+    def _solve(self, cnf: Cnf, time_limit: float | None = None,
+               assumptions: list[int] | None = None) -> SolveResult:
         from repro.cnf.dimacs import render_dimacs
 
         if assumptions:
@@ -236,6 +286,8 @@ class SubprocessBackend:
             for template in _TIME_LIMIT_ARGS.get(self.name, ()):
                 command.append(template.format(limit=whole_seconds))
         command.extend(self.extra_args)
+        logger.debug("external solve via %s: %d vars, %d clauses",
+                     binary, cnf.num_vars, len(cnf.clauses))
 
         start = time.perf_counter()
         with tempfile.TemporaryDirectory(prefix="repro-sat-") as workdir:

@@ -41,17 +41,24 @@ timeouts without leaking processes.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import os
 import random
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field, replace
 from queue import Empty
 
 from repro.cnf.cnf import Cnf
 from repro.errors import SolverError
+from repro.obs import NULL_TRACER, Tracer, get_tracer
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
 from repro.sat.solver import CdclSolver, SolveResult
 from repro.sat.stats import SolverStats
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_NUM_WORKERS",
@@ -256,15 +263,32 @@ class PortfolioResult:
 # --------------------------------------------------------------------- #
 
 
+def _worker_tracer(trace_path, index: int):
+    """The worker's own tracer (never the parent's inherited one)."""
+    if trace_path is None:
+        return NULL_TRACER
+    return Tracer(trace_path, worker=f"w{index}")
+
+
 def _race_worker(index: int, cnf: Cnf, config: SolverConfig,
                  time_limit: float | None, max_conflicts: int | None,
                  max_decisions: int | None, assumptions: list[int] | None,
-                 queue) -> None:
+                 queue, trace_path=None) -> None:
     start = time.perf_counter()
+    tracer = _worker_tracer(trace_path, index)
     try:
-        result = CdclSolver(cnf, config=config).solve(
-            max_conflicts=max_conflicts, max_decisions=max_decisions,
-            time_limit=time_limit, assumptions=assumptions)
+        solver = CdclSolver(cnf, config=config)
+        if tracer.enabled:
+            solver.set_progress(
+                lambda snapshot: tracer.event("progress",
+                                              **snapshot.as_dict()))
+        with tracer.span("worker_solve", config=config.name,
+                         index=index) as span:
+            result = solver.solve(
+                max_conflicts=max_conflicts, max_decisions=max_decisions,
+                time_limit=time_limit, assumptions=assumptions)
+            span.set(status=result.status,
+                     conflicts=result.stats.conflicts)
         queue.put({"kind": "result", "index": index, "status": result.status,
                    "model": result.model, "core": result.core,
                    "stats": result.stats,
@@ -272,56 +296,78 @@ def _race_worker(index: int, cnf: Cnf, config: SolverConfig,
     except Exception as exc:  # pragma: no cover - defensive
         queue.put({"kind": "error", "index": index, "error": repr(exc),
                    "elapsed": time.perf_counter() - start})
+    finally:
+        tracer.close()
 
 
 def _cube_worker(index: int, cnf: Cnf, config: SolverConfig,
                  cubes: list[list[int]], time_limit: float | None,
                  max_conflicts: int | None, max_decisions: int | None,
-                 assumptions: list[int] | None, queue) -> None:
+                 assumptions: list[int] | None, queue,
+                 trace_path=None) -> None:
     start = time.perf_counter()
     base_assumptions = list(assumptions or [])
     cube_vars = {abs(literal) for cube in cubes for literal in cube}
     deadline = start + time_limit if time_limit is not None else None
     solver = None
     completed = 0
+    tracer = _worker_tracer(trace_path, index)
     try:
         # One incremental session per worker: learned clauses, activities
         # and phases persist across this worker's cubes.
         solver = CdclSolver(cnf, config=config)
-        statuses: list[str] = []
-        for cube in cubes:
-            remaining = None
-            if deadline is not None:
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
-                    # Mark the unattempted cube undecided so the parent
-                    # cannot mistake a timed-out share for all-UNSAT.
-                    statuses.append("UNKNOWN")
-                    break
-            result = solver.solve(time_limit=remaining,
-                                  max_conflicts=max_conflicts,
-                                  max_decisions=max_decisions,
-                                  assumptions=base_assumptions + cube)
-            completed += 1
-            if result.status == "SAT":
-                queue.put({"kind": "result", "index": index, "status": "SAT",
-                           "model": result.model, "core": None,
-                           "stats": solver.stats, "cubes_solved": completed,
-                           "elapsed": time.perf_counter() - start})
-                return
-            if result.status == "UNSAT":
-                core_vars = {abs(literal) for literal in result.core or []}
-                if not core_vars & cube_vars:
-                    # The final-conflict core avoids every split variable:
-                    # the formula (under the caller's assumptions alone) is
-                    # UNSAT, independent of the remaining cubes.
+        if tracer.enabled:
+            solver.set_progress(
+                lambda snapshot: tracer.event("progress",
+                                              **snapshot.as_dict()))
+        worker_span = tracer.span("worker_solve", config=config.name,
+                                  index=index, cubes=len(cubes))
+        with worker_span:
+            statuses: list[str] = []
+            for cube in cubes:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        # Mark the unattempted cube undecided so the parent
+                        # cannot mistake a timed-out share for all-UNSAT.
+                        statuses.append("UNKNOWN")
+                        break
+                with tracer.span("cube_solve", cube=cube) as cube_span:
+                    result = solver.solve(time_limit=remaining,
+                                          max_conflicts=max_conflicts,
+                                          max_decisions=max_decisions,
+                                          assumptions=base_assumptions + cube)
+                    cube_span.set(status=result.status)
+                completed += 1
+                if result.status == "SAT":
+                    worker_span.set(status="SAT", cubes_solved=completed)
                     queue.put({"kind": "result", "index": index,
-                               "status": "UNSAT", "model": None,
-                               "core": result.core, "stats": solver.stats,
+                               "status": "SAT",
+                               "model": result.model, "core": None,
+                               "stats": solver.stats,
                                "cubes_solved": completed,
                                "elapsed": time.perf_counter() - start})
                     return
-            statuses.append(result.status)
+                if result.status == "UNSAT":
+                    core_vars = {abs(literal)
+                                 for literal in result.core or []}
+                    if not core_vars & cube_vars:
+                        # The final-conflict core avoids every split
+                        # variable: the formula (under the caller's
+                        # assumptions alone) is UNSAT, independent of the
+                        # remaining cubes.
+                        worker_span.set(status="UNSAT",
+                                        cubes_solved=completed)
+                        queue.put({"kind": "result", "index": index,
+                                   "status": "UNSAT", "model": None,
+                                   "core": result.core,
+                                   "stats": solver.stats,
+                                   "cubes_solved": completed,
+                                   "elapsed": time.perf_counter() - start})
+                        return
+                statuses.append(result.status)
+            worker_span.set(status="EXHAUSTED", cubes_solved=completed)
         queue.put({"kind": "exhausted", "index": index, "statuses": statuses,
                    "stats": solver.stats, "cubes_solved": completed,
                    "elapsed": time.perf_counter() - start})
@@ -329,6 +375,8 @@ def _cube_worker(index: int, cnf: Cnf, config: SolverConfig,
         queue.put({"kind": "error", "index": index, "error": repr(exc),
                    "stats": solver.stats if solver is not None else None,
                    "elapsed": time.perf_counter() - start})
+    finally:
+        tracer.close()
 
 
 class _InlineQueue:
@@ -473,6 +521,31 @@ def _raise_if_all_workers_failed(configs: list[SolverConfig],
         raise SolverError(f"every portfolio worker failed: {details}")
 
 
+def _worker_trace_paths(tracer, count: int):
+    """Per-worker trace file paths (plus their directory) when tracing is on.
+
+    Workers cannot share the parent's tracer across a ``fork()`` (see
+    :func:`repro.obs.get_tracer`), so each gets its own JSONL file in a
+    temporary directory; the parent absorbs them afterwards.
+    """
+    if not tracer.enabled:
+        return None, [None] * count
+    directory = tempfile.mkdtemp(prefix="repro-trace-")
+    return directory, [os.path.join(directory, f"w{index}.jsonl")
+                       for index in range(count)]
+
+
+def _absorb_worker_traces(tracer, span, directory, paths) -> None:
+    """Merge the workers' trace files under ``span`` and clean up."""
+    if directory is None:
+        return
+    try:
+        for index, path in enumerate(paths):
+            tracer.absorb(path, parent_id=span.span_id, worker=f"w{index}")
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
                     configs: list[SolverConfig] | None = None,
                     base_config: SolverConfig | None = None,
@@ -492,47 +565,63 @@ def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
     if not configs:
         raise SolverError("a portfolio needs at least one configuration")
     start = time.perf_counter()
+    tracer = get_tracer()
+    logger.info("portfolio: racing %d workers on %d vars / %d clauses",
+                len(configs), cnf.num_vars, len(cnf.clauses))
 
     def decisive(message: dict) -> bool:
         return message["kind"] == "result" \
             and message["status"] in ("SAT", "UNSAT")
 
-    if len(configs) == 1:
-        inline = _InlineQueue()
-        _race_worker(0, cnf, configs[0], time_limit, max_conflicts,
-                     max_decisions, assumptions, inline)
-        messages = {0: inline.messages[0]}
-        winner = inline.messages[0] if decisive(inline.messages[0]) else None
-    else:
-        context = _mp_context()
-        queue = context.Queue()
-        procs = [context.Process(
-            target=_race_worker,
-            args=(index, cnf, config, time_limit, max_conflicts,
-                  max_decisions, assumptions, queue),
-            daemon=False)
-            for index, config in enumerate(configs)]
-        # start() runs inside the try so that a failed spawn — or a caller's
-        # hard-timeout alarm firing in the start window — still terminates
-        # the workers already running.
+    with tracer.span("portfolio", workers=len(configs),
+                     num_vars=cnf.num_vars) as span:
+        trace_dir, trace_paths = _worker_trace_paths(tracer, len(configs))
         try:
-            for proc in procs:
-                proc.start()
-            messages, winner = _collect(procs, queue, decisive, time_limit)
+            if len(configs) == 1:
+                inline = _InlineQueue()
+                _race_worker(0, cnf, configs[0], time_limit, max_conflicts,
+                             max_decisions, assumptions, inline,
+                             trace_path=trace_paths[0])
+                messages = {0: inline.messages[0]}
+                winner = inline.messages[0] \
+                    if decisive(inline.messages[0]) else None
+            else:
+                context = _mp_context()
+                queue = context.Queue()
+                procs = [context.Process(
+                    target=_race_worker,
+                    args=(index, cnf, config, time_limit, max_conflicts,
+                          max_decisions, assumptions, queue,
+                          trace_paths[index]),
+                    daemon=False)
+                    for index, config in enumerate(configs)]
+                # start() runs inside the try so that a failed spawn — or a
+                # caller's hard-timeout alarm firing in the start window —
+                # still terminates the workers already running.
+                try:
+                    for proc in procs:
+                        proc.start()
+                    messages, winner = _collect(procs, queue, decisive,
+                                                time_limit)
+                finally:
+                    _shutdown(procs, queue)
         finally:
-            _shutdown(procs, queue)
+            _absorb_worker_traces(tracer, span, trace_dir, trace_paths)
 
-    wall_time = time.perf_counter() - start
-    winner_index = winner["index"] if winner else None
-    reports = _worker_reports(configs, messages)
-    if winner is not None:
-        result = _winning_result(winner)
-        winner_name = configs[winner_index].name
-    else:
-        _raise_if_all_workers_failed(configs, messages)
-        result = SolveResult(status="UNKNOWN", model=None,
-                             stats=_aggregate_stats(reports, wall_time))
-        winner_name = None
+        wall_time = time.perf_counter() - start
+        winner_index = winner["index"] if winner else None
+        reports = _worker_reports(configs, messages)
+        if winner is not None:
+            result = _winning_result(winner)
+            winner_name = configs[winner_index].name
+        else:
+            _raise_if_all_workers_failed(configs, messages)
+            result = SolveResult(status="UNKNOWN", model=None,
+                                 stats=_aggregate_stats(reports, wall_time))
+            winner_name = None
+        span.set(status=result.status, winner=winner_name)
+    logger.info("portfolio: %s in %.3f s (winner: %s)",
+                result.status, wall_time, winner_name)
     return PortfolioResult(result=result, mode="portfolio",
                            winner=winner_name, workers=reports,
                            wall_time=wall_time)
@@ -586,64 +675,83 @@ def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
                for index in range(num_workers)]
     shares = [cubes[index::num_workers] for index in range(num_workers)]
     start = time.perf_counter()
+    tracer = get_tracer()
+    logger.info("cube and conquer: %d cubes over %d workers (depth %d)",
+                len(cubes), num_workers, cube_depth)
 
     def decisive(message: dict) -> bool:
         return message["kind"] == "result"
 
-    if num_workers == 1:
-        inline = _InlineQueue()
-        _cube_worker(0, cnf, configs[0], shares[0], time_limit,
-                     max_conflicts, max_decisions, assumptions, inline)
-        messages = {0: inline.messages[0]}
-        winner = inline.messages[0] if decisive(inline.messages[0]) else None
-    else:
-        context = _mp_context()
-        queue = context.Queue()
-        procs = [context.Process(
-            target=_cube_worker,
-            args=(index, cnf, configs[index], shares[index], time_limit,
-                  max_conflicts, max_decisions, assumptions, queue),
-            daemon=False)
-            for index in range(num_workers)]
-        # start() inside the try: see solve_portfolio.
+    with tracer.span("cube", workers=num_workers, cubes=len(cubes),
+                     depth=cube_depth) as span:
+        trace_dir, trace_paths = _worker_trace_paths(tracer, num_workers)
         try:
-            for proc in procs:
-                proc.start()
-            messages, winner = _collect(procs, queue, decisive, time_limit)
+            if num_workers == 1:
+                inline = _InlineQueue()
+                _cube_worker(0, cnf, configs[0], shares[0], time_limit,
+                             max_conflicts, max_decisions, assumptions,
+                             inline, trace_path=trace_paths[0])
+                messages = {0: inline.messages[0]}
+                winner = inline.messages[0] \
+                    if decisive(inline.messages[0]) else None
+            else:
+                context = _mp_context()
+                queue = context.Queue()
+                procs = [context.Process(
+                    target=_cube_worker,
+                    args=(index, cnf, configs[index], shares[index],
+                          time_limit, max_conflicts, max_decisions,
+                          assumptions, queue, trace_paths[index]),
+                    daemon=False)
+                    for index in range(num_workers)]
+                # start() inside the try: see solve_portfolio.
+                try:
+                    for proc in procs:
+                        proc.start()
+                    messages, winner = _collect(procs, queue, decisive,
+                                                time_limit)
+                finally:
+                    _shutdown(procs, queue)
         finally:
-            _shutdown(procs, queue)
+            _absorb_worker_traces(tracer, span, trace_dir, trace_paths)
 
-    wall_time = time.perf_counter() - start
-    winner_index = winner["index"] if winner else None
-    reports = _worker_reports(configs, messages)
+        wall_time = time.perf_counter() - start
+        winner_index = winner["index"] if winner else None
+        reports = _worker_reports(configs, messages)
 
-    if winner is not None:
-        result = _winning_result(winner)
-        winner_name = configs[winner_index].name
-    else:
-        _raise_if_all_workers_failed(configs, messages)
-        exhausted = [messages.get(index) for index in range(num_workers)]
-        all_reported = all(message is not None
-                           and message["kind"] == "exhausted"
-                           for message in exhausted)
-        statuses = [status for message in exhausted if message is not None
-                    for status in message.get("statuses", [])]
-        if all_reported and statuses \
-                and all(status == "UNSAT" for status in statuses) \
-                and sum(len(share) for share in shares) == len(statuses):
-            # Every cube of the partition is UNSAT: the formula (under the
-            # caller's assumptions) is UNSAT.  Without assumptions the core
-            # is empty — formula-level UNSAT — matching the sequential
-            # solver's convention; with assumptions only the trivial core
-            # is known (cube cores name cube literals, not assumptions).
-            core = list(assumptions) if assumptions else []
-            result = SolveResult(status="UNSAT", model=None,
-                                 stats=_aggregate_stats(reports, wall_time),
-                                 core=core)
+        if winner is not None:
+            result = _winning_result(winner)
+            winner_name = configs[winner_index].name
         else:
-            result = SolveResult(status="UNKNOWN", model=None,
-                                 stats=_aggregate_stats(reports, wall_time))
-        winner_name = None
+            _raise_if_all_workers_failed(configs, messages)
+            exhausted = [messages.get(index) for index in range(num_workers)]
+            all_reported = all(message is not None
+                               and message["kind"] == "exhausted"
+                               for message in exhausted)
+            statuses = [status for message in exhausted
+                        if message is not None
+                        for status in message.get("statuses", [])]
+            if all_reported and statuses \
+                    and all(status == "UNSAT" for status in statuses) \
+                    and sum(len(share) for share in shares) == len(statuses):
+                # Every cube of the partition is UNSAT: the formula (under
+                # the caller's assumptions) is UNSAT.  Without assumptions
+                # the core is empty — formula-level UNSAT — matching the
+                # sequential solver's convention; with assumptions only the
+                # trivial core is known (cube cores name cube literals, not
+                # assumptions).
+                core = list(assumptions) if assumptions else []
+                result = SolveResult(
+                    status="UNSAT", model=None,
+                    stats=_aggregate_stats(reports, wall_time), core=core)
+            else:
+                result = SolveResult(
+                    status="UNKNOWN", model=None,
+                    stats=_aggregate_stats(reports, wall_time))
+            winner_name = None
+        span.set(status=result.status, winner=winner_name)
+    logger.info("cube and conquer: %s in %.3f s (winner: %s)",
+                result.status, wall_time, winner_name)
     return PortfolioResult(result=result, mode="cube", winner=winner_name,
                            workers=reports, wall_time=wall_time,
                            num_cubes=len(cubes), cube_variables=variables)

@@ -41,12 +41,15 @@ from repro.cnf.cnf import Cnf
 from repro.errors import SolverError
 from repro.sat.configs import SolverConfig
 from repro.sat.heap import VarOrderHeap
-from repro.sat.stats import SolverStats
+from repro.sat.stats import ProgressSnapshot, SolverStats
 
 #: Tri-state literal values stored in ``_lit_val``.
 _UNASSIGNED = -1
 _FALSE = 0
 _TRUE = 1
+
+#: Default conflict interval between progress-hook samples.
+DEFAULT_PROGRESS_INTERVAL = 2048
 
 
 @dataclass
@@ -132,6 +135,15 @@ class CdclSolver:
 
         self._rng = random.Random(self.config.seed)
 
+        # Periodic progress hook (see set_progress).  _progress_interval of 0
+        # keeps the whole machinery behind one false integer test per
+        # conflict — the off path must stay within noise of a build without
+        # the hook (guarded by the obs_overhead perf benchmark).
+        self._progress = None
+        self._progress_interval = 0
+        self._next_progress = 0
+        self._dl_ema = 0.0
+
         self._ok = True
         self._trivially_unsat = False
         self._load(cnf)
@@ -200,6 +212,45 @@ class CdclSolver:
                 watch_list[position + 1] = watch_list[-1]
                 del watch_list[-2:]
                 return
+
+    # ------------------------------------------------------------------ #
+    # Progress reporting
+    # ------------------------------------------------------------------ #
+
+    def set_progress(self, callback,
+                     interval: int = DEFAULT_PROGRESS_INTERVAL) -> None:
+        """Install a periodic progress hook (``None`` uninstalls it).
+
+        ``callback`` receives a :class:`repro.sat.stats.ProgressSnapshot`
+        every ``interval`` conflicts: cumulative counters, conflicts/sec,
+        the live learned-DB size, the trail depth at the sampling conflict
+        and an exponential moving average of recent decision levels.  The
+        hook is how the observability layer (tracer events, the CLI's
+        kissat-style ``c`` lines under ``--verbose``) watches a running
+        solve; with no hook installed the solver pays one false integer
+        test per conflict.
+        """
+        if callback is not None and interval < 1:
+            raise SolverError("progress interval must be at least 1")
+        self._progress = callback
+        self._progress_interval = interval if callback is not None else 0
+
+    def _emit_progress(self, start_time: float, conflicts_start: int) -> None:
+        stats = self.stats
+        elapsed = time.perf_counter() - start_time
+        call_conflicts = stats.conflicts - conflicts_start
+        self._progress(ProgressSnapshot(
+            conflicts=stats.conflicts,
+            decisions=stats.decisions,
+            propagations=stats.propagations,
+            restarts=stats.restarts,
+            learned_db_size=stats.learned_db_size,
+            trail_depth=len(self._trail),
+            decision_level_ema=self._dl_ema,
+            elapsed_s=elapsed,
+            conflicts_per_sec=call_conflicts / elapsed if elapsed > 0 else 0.0,
+            propagations_per_conflict=stats.propagations_per_conflict,
+        ))
 
     # ------------------------------------------------------------------ #
     # Incremental interface
@@ -613,6 +664,7 @@ class CdclSolver:
         self._learned_indices = [index for index in self._learned_indices
                                  if index not in delete_set
                                  and clauses[index] is not None]
+        self.stats.learned_db_size = len(self._learned_indices)
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -649,6 +701,8 @@ class CdclSolver:
         self._backtrack(0)
         conflicts_start = stats.conflicts
         decisions_start = stats.decisions
+        if self._progress_interval:
+            self._next_progress = stats.conflicts + self._progress_interval
 
         restart_count = 0
         conflicts_until_restart = self._next_restart_budget(restart_count)
@@ -660,6 +714,10 @@ class CdclSolver:
                 stats.conflicts += 1
                 conflicts_until_restart -= 1
                 conflicts_since_reduce += 1
+                trail_depth = len(self._trail)
+                if trail_depth > stats.peak_trail:
+                    stats.peak_trail = trail_depth
+                conflict_level = len(self._trail_lim)
                 if not self._trail_lim:
                     # Conflict at level 0: the database itself is now
                     # inconsistent, independent of any assumptions.
@@ -676,6 +734,13 @@ class CdclSolver:
                     stats.learned_clauses += 1
                     self._enqueue(learned[0], index)
                 self._decay_activities()
+                stats.learned_db_size = len(self._learned_indices)
+                if self._progress_interval:
+                    self._dl_ema += 0.02 * (conflict_level - self._dl_ema)
+                    if stats.conflicts >= self._next_progress:
+                        self._next_progress = (stats.conflicts
+                                               + self._progress_interval)
+                        self._emit_progress(start_time, conflicts_start)
                 if max_conflicts is not None and \
                         stats.conflicts - conflicts_start >= max_conflicts:
                     stats.solve_time = time.perf_counter() - start_time
@@ -729,6 +794,9 @@ class CdclSolver:
                 continue
 
             if not self._decide():
+                trail_depth = len(self._trail)
+                if trail_depth > stats.peak_trail:
+                    stats.peak_trail = trail_depth
                 lit_val = self._lit_val
                 model = {var + 1: lit_val[2 * var] == _TRUE
                          for var in range(self.num_vars)}
@@ -747,8 +815,12 @@ def solve_cnf(cnf: Cnf, config: SolverConfig | None = None,
               max_conflicts: int | None = None,
               max_decisions: int | None = None,
               time_limit: float | None = None,
-              assumptions: list[int] | None = None) -> SolveResult:
+              assumptions: list[int] | None = None,
+              progress=None,
+              progress_interval: int = DEFAULT_PROGRESS_INTERVAL) -> SolveResult:
     """Convenience wrapper: build a :class:`CdclSolver` and run it once."""
     solver = CdclSolver(cnf, config=config)
+    if progress is not None:
+        solver.set_progress(progress, interval=progress_interval)
     return solver.solve(max_conflicts=max_conflicts, max_decisions=max_decisions,
                         time_limit=time_limit, assumptions=assumptions)

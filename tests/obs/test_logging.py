@@ -1,0 +1,66 @@
+"""Tests for the shared logging configuration."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, verbosity_level
+from repro.obs.logconf import PACKAGE_LOGGER
+
+
+@pytest.fixture(autouse=True)
+def _pristine_repro_logger():
+    """Restore the package logger after each test."""
+    logger = logging.getLogger(PACKAGE_LOGGER)
+    handlers = list(logger.handlers)
+    level, propagate = logger.level, logger.propagate
+    try:
+        yield logger
+    finally:
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        for handler in handlers:
+            logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = propagate
+
+
+class TestVerbosityLevel:
+    @pytest.mark.parametrize("verbose,quiet,expected", [
+        (0, True, logging.ERROR),
+        (5, True, logging.ERROR),  # -q wins over -v
+        (0, False, logging.WARNING),
+        (1, False, logging.INFO),
+        (2, False, logging.DEBUG),
+        (7, False, logging.DEBUG),  # clamped
+    ])
+    def test_mapping(self, verbose, quiet, expected):
+        assert verbosity_level(verbose, quiet) == expected
+
+
+class TestConfigureLogging:
+    def test_attaches_one_handler_idempotently(self):
+        first = configure_logging(logging.INFO)
+        second = configure_logging(logging.DEBUG)
+        assert first is second
+        assert len(second.handlers) == 1
+        assert second.level == logging.DEBUG
+        assert second.propagate is False
+
+    def test_module_loggers_route_through_package_handler(self):
+        stream = io.StringIO()
+        configure_logging(logging.INFO, stream=stream)
+        logging.getLogger("repro.sat.portfolio").info("racing %d workers", 4)
+        logging.getLogger("repro.runner.batch").debug("hidden at INFO")
+        output = stream.getvalue()
+        assert "I repro.sat.portfolio: racing 4 workers" in output
+        assert "hidden" not in output
+
+    def test_level_by_name(self):
+        logger = configure_logging("debug")
+        assert logger.level == logging.DEBUG
+
+    def test_unknown_level_name_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")

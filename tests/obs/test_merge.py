@@ -1,0 +1,154 @@
+"""Cross-process trace merging: portfolio, cube workers, the batch pool.
+
+These are the integration tests of the observability layer: real worker
+processes write their own JSONL trace files, the parent absorbs them, and
+the merged stream must form one valid span tree (worker spans parented
+under the launching span, no orphans, timestamps consistent with nesting).
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.benchgen.random_logic import pigeonhole_cnf, random_cnf
+from repro.obs import Tracer, read_trace, use_tracer
+from repro.obs.merge import (
+    build_tree,
+    events_of,
+    merge_trace_files,
+    spans_of,
+    validate_tree,
+)
+from repro.runner import BatchRunner, Task
+from repro.sat.portfolio import solve_cube_and_conquer, solve_portfolio
+
+from tests.helpers import random_aig
+
+_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
+
+
+def _merged_trace(tmp_path, run):
+    """Run ``run`` under a file-backed tracer and return the merged records."""
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(path)
+    try:
+        with use_tracer(tracer):
+            run(tracer)
+    finally:
+        tracer.close()
+    return read_trace(path)
+
+
+class TestPortfolioMerge:
+    def test_race_produces_valid_merged_tree(self, tmp_path):
+        cnf = random_cnf(40, 160, seed=5, min_width=3, max_width=3)
+        records = _merged_trace(
+            tmp_path,
+            lambda tracer: solve_portfolio(cnf, num_workers=3, seed=1))
+        assert validate_tree(records) == []
+
+        by_name = {}
+        for span in spans_of(records):
+            by_name.setdefault(span["name"], []).append(span)
+        (portfolio,) = by_name["portfolio"]
+        workers = by_name["worker_solve"]
+        # The winner always reports; losers may be terminated before their
+        # span record hits the file (torn tails are part of the contract).
+        assert 1 <= len(workers) <= 3
+        assert all(span["parent"] == portfolio["id"] for span in workers)
+        assert all(span["worker"].startswith("w") for span in workers)
+        assert portfolio["attrs"]["status"] in ("SAT", "UNSAT")
+
+    def test_cube_and_conquer_nests_cube_spans(self, tmp_path):
+        cnf = pigeonhole_cnf(3)
+        records = _merged_trace(
+            tmp_path,
+            lambda tracer: solve_cube_and_conquer(cnf, cube_depth=2,
+                                                  num_workers=2))
+        assert validate_tree(records) == []
+        by_id, children = build_tree(records)
+        (cube_root,) = [s for s in spans_of(records) if s["name"] == "cube"]
+        worker_ids = {s["id"] for s in spans_of(records)
+                      if s["name"] == "worker_solve"}
+        assert worker_ids  # at least the deciding worker reported
+        for span in spans_of(records):
+            if span["name"] == "cube_solve":
+                assert span["parent"] in worker_ids
+        for worker_id in worker_ids:
+            assert by_id[worker_id]["parent"] == cube_root["id"]
+
+    def test_untraced_run_stays_untraced(self):
+        # No tracer installed: the exact same code paths must not write
+        # anything or fail (the NULL_TRACER fast path).
+        cnf = random_cnf(20, 80, seed=0, min_width=3, max_width=3)
+        report = solve_portfolio(cnf, num_workers=2, seed=1)
+        assert report.status in ("SAT", "UNSAT")
+
+
+@pytest.mark.skipif(not _FORK, reason="pool workers must inherit PIPELINES "
+                                      "registrations via fork")
+class TestBatchPoolMerge:
+    def _tasks(self, count=3):
+        return [Task.from_aig(random_aig(num_pis=4, num_nodes=12, seed=seed),
+                              "Baseline", time_limit=10.0)
+                for seed in range(count)]
+
+    def test_pool_traces_merge_under_batch_span(self, tmp_path):
+        tasks = self._tasks()
+        records = _merged_trace(
+            tmp_path,
+            lambda tracer: BatchRunner(jobs=2).run(tasks))
+        assert validate_tree(records) == []
+
+        spans = spans_of(records)
+        (batch,) = [s for s in spans if s["name"] == "batch"]
+        task_spans = [s for s in spans if s["name"] == "task"]
+        assert len(task_spans) == len(tasks)
+        assert all(span["parent"] == batch["id"] for span in task_spans)
+        # Every pool task ran in a worker process and keeps its label.
+        assert all(span["worker"].startswith("pool-")
+                   for span in task_spans)
+        # Child stages (preprocess/solve) travelled with their task spans.
+        solve_parents = {s["parent"] for s in spans if s["name"] == "solve"}
+        assert solve_parents <= {s["id"] for s in task_spans}
+        assert batch["attrs"]["executed"] == len(tasks)
+
+    def test_serial_run_traces_in_process(self, tmp_path):
+        tasks = self._tasks(count=2)
+        records = _merged_trace(
+            tmp_path,
+            lambda tracer: BatchRunner(jobs=1).run(tasks))
+        assert validate_tree(records) == []
+        task_spans = [s for s in spans_of(records) if s["name"] == "task"]
+        assert len(task_spans) == 2
+        # In-process execution carries no worker label.
+        assert all("worker" not in span for span in task_spans)
+
+    def test_batch_metrics_recorded(self, tmp_path):
+        records = _merged_trace(
+            tmp_path,
+            lambda tracer: BatchRunner(jobs=2).run(self._tasks()))
+        (metrics,) = [r for r in records if r.get("type") == "metrics"]
+        assert metrics["counters"]["batch.executed"]["value"] == 3
+        assert metrics["counters"]["batch.cache_hits"]["value"] == 0
+
+
+class TestOfflineMerge:
+    def test_merge_trace_files_keeps_one_meta(self, tmp_path):
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"part{index}.jsonl"
+            with Tracer(path, worker=f"w{index}") as tracer:
+                with tracer.span("solve"):
+                    tracer.event("progress", conflicts=index)
+            paths.append(path)
+        out = tmp_path / "merged.jsonl"
+        written = merge_trace_files(paths, out)
+        records = read_trace(out)
+        assert written == len(records)
+        assert sum(r["type"] == "meta" for r in records) == 1
+        assert len(spans_of(records)) == 2
+        assert len(events_of(records)) == 2
+        # Span ids embed pid + tracer instance, so even same-process parts
+        # never collide in the merged file.
+        assert validate_tree(records) == []

@@ -1,0 +1,67 @@
+"""Unit tests for the metrics instruments and registry."""
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("solves")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.as_dict() == {"value": 5}
+
+    def test_gauge_holds_last_value(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(7)
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+        assert gauge.as_dict() == {"value": 3.5}
+
+    def test_histogram_aggregates(self):
+        histogram = Histogram("solve_s")
+        for value in (2.0, 1.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 7.0
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.mean == 7.0 / 3
+
+    def test_empty_histogram_serialises_without_infinities(self):
+        assert Histogram("x").as_dict() == {"count": 0, "total": 0.0}
+
+
+class TestRegistry:
+    def test_instruments_created_once_and_reused(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_bool_reflects_contents(self):
+        registry = MetricsRegistry()
+        assert not registry
+        registry.counter("hits")
+        assert registry
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        registry.gauge("depth").set(9)
+        registry.histogram("lat").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["hits"] == {"value": 2}
+        assert snapshot["gauges"]["depth"] == {"value": 9}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+
+class TestNullMetrics:
+    def test_null_registry_is_inert(self):
+        NULL_METRICS.counter("x").inc(100)
+        NULL_METRICS.gauge("y").set(5)
+        NULL_METRICS.histogram("z").observe(1.0)
+        assert not NULL_METRICS
+        assert NULL_METRICS.snapshot() == {"counters": {}, "gauges": {},
+                                           "histograms": {}}

@@ -1,0 +1,147 @@
+"""Tests for trace summarisation, the Chrome exporter and ``repro trace``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Tracer, read_trace
+from repro.obs.export import to_chrome_trace, write_chrome_trace
+from repro.obs.report import format_report, summarize
+
+
+@pytest.fixture
+def sample_records(tmp_path):
+    """A small two-worker trace with nesting, events and metrics."""
+    path = tmp_path / "sample.jsonl"
+    tracer = Tracer(path)
+    with tracer.span("batch", tasks=2) as batch:
+        with tracer.span("task", instance="i0"):
+            tracer.event("progress", conflicts=10)
+        with tracer.span("task", instance="i1"):
+            pass
+        worker_path = tmp_path / "w0.jsonl"
+        with Tracer(worker_path, worker="w0") as worker:
+            with worker.span("worker_solve"):
+                pass
+        tracer.absorb(worker_path, parent_id=batch.span_id, worker="w0")
+    tracer.metrics.counter("batch.executed").inc(2)
+    tracer.close()
+    return read_trace(path)
+
+
+class TestSummarize:
+    def test_counts_and_stage_grouping(self, sample_records):
+        summary = summarize(sample_records)
+        assert summary.num_spans == 4
+        assert summary.num_events == 1
+        stages = {stage.name: stage for stage in summary.stages}
+        assert stages["task"].count == 2
+        assert stages["task"].total_s >= stages["task"].max_s >= 0
+        assert stages["task"].mean_s == stages["task"].total_s / 2
+        assert summary.problems == []
+
+    def test_slowest_respects_top(self, sample_records):
+        summary = summarize(sample_records, top=2)
+        assert len(summary.slowest) == 2
+        durations = [entry["dur_s"] for entry in summary.slowest]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_worker_utilisation_counts_top_spans_once(self, sample_records):
+        summary = summarize(sample_records)
+        (worker,) = summary.workers
+        assert worker.worker == "w0"
+        assert worker.spans == 1
+        assert 0.0 <= worker.utilization <= 1.0
+
+    def test_metrics_folded_in(self, sample_records):
+        summary = summarize(sample_records)
+        assert summary.metrics["counters"]["batch.executed"] == {"value": 2}
+
+    def test_empty_trace(self):
+        summary = summarize([])
+        assert summary.num_spans == 0
+        assert summary.stages == []
+        assert summary.as_dict()["wall_s"] == 0.0
+
+    def test_orphan_reported_as_problem(self, sample_records):
+        sample_records.append({"type": "span", "name": "stray", "id": "zz-1",
+                               "parent": "missing", "ts": 0.0, "dur": 0.0})
+        summary = summarize(sample_records)
+        assert any("unknown parent" in problem
+                   for problem in summary.problems)
+
+    def test_format_report_renders_every_section(self, sample_records):
+        text = format_report(summarize(sample_records))
+        assert "4 spans" in text
+        assert "task" in text and "worker_solve" in text
+        assert "w0" in text
+        assert "batch.executed = 2" in text
+        assert "structural problems" not in text
+
+
+class TestChromeExport:
+    def test_span_and_event_phases(self, sample_records):
+        document = to_chrome_trace(sample_records)
+        assert document["displayTimeUnit"] == "ms"
+        phases = [entry["ph"] for entry in document["traceEvents"]]
+        assert phases.count("X") == 4
+        assert phases.count("i") == 1
+        assert phases.count("M") >= 2  # main lane + w0 lane names
+
+    def test_timestamps_relative_microseconds(self, sample_records):
+        document = to_chrome_trace(sample_records)
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert min(entry["ts"] for entry in complete) == 0.0
+        assert all(entry["dur"] >= 0 for entry in complete)
+
+    def test_workers_get_distinct_lanes(self, sample_records):
+        document = to_chrome_trace(sample_records)
+        lanes = {entry["args"]["name"]: entry["tid"]
+                 for entry in document["traceEvents"] if entry["ph"] == "M"}
+        assert lanes["main"] == 0
+        assert lanes["w0"] != 0
+
+    def test_empty_trace_exports_empty_document(self):
+        assert to_chrome_trace([]) == {"traceEvents": [],
+                                       "displayTimeUnit": "ms"}
+
+    def test_write_chrome_trace_is_valid_json(self, sample_records, tmp_path):
+        path = write_chrome_trace(sample_records, tmp_path / "out.json")
+        json.loads(path.read_text())
+
+
+class TestTraceCli:
+    @pytest.fixture
+    def traced_solve(self, tmp_path):
+        """A real trace produced by ``repro solve --trace``."""
+        cnf_path = tmp_path / "sat.cnf"
+        cnf_path.write_text("p cnf 3 3\n1 2 0\n-1 3 0\n2 3 0\n")
+        trace_path = tmp_path / "solve.jsonl"
+        assert main(["solve", str(cnf_path), "--trace",
+                     str(trace_path)]) == 10  # SAT exit code
+        return trace_path
+
+    def test_report_prints_stage_table(self, traced_solve, capsys):
+        assert main(["trace", "report", str(traced_solve)]) == 0
+        out = capsys.readouterr().out
+        assert "solve" in out
+        assert "spans" in out
+
+    def test_report_json_output(self, traced_solve, tmp_path, capsys):
+        json_path = tmp_path / "summary.json"
+        assert main(["trace", "report", str(traced_solve),
+                     "--json", str(json_path)]) == 0
+        summary = json.loads(json_path.read_text())
+        assert summary["num_spans"] >= 1
+        assert summary["problems"] == []
+
+    def test_export_default_path(self, traced_solve, capsys):
+        assert main(["trace", "export", str(traced_solve)]) == 0
+        out_path = traced_solve.with_suffix(".chrome.json")
+        assert out_path.exists()
+        document = json.loads(out_path.read_text())
+        assert any(entry["ph"] == "X" for entry in document["traceEvents"])
+
+    def test_report_on_missing_file_fails(self, tmp_path, capsys):
+        assert main(["trace", "report", str(tmp_path / "nope.jsonl")]) != 0

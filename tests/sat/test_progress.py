@@ -1,0 +1,132 @@
+"""Tests for the solver's periodic progress hook and the new statistics."""
+
+import dataclasses
+
+import pytest
+
+from repro.benchgen.random_logic import pigeonhole_cnf, random_cnf
+from repro.errors import SolverError
+from repro.sat.solver import CdclSolver, solve_cnf
+from repro.sat.stats import ProgressSnapshot, SolverStats
+
+
+@pytest.fixture
+def hard_unsat():
+    """PHP(6,5): deterministic, a few hundred conflicts — enough samples."""
+    return pigeonhole_cnf(5)
+
+
+class TestProgressHook:
+    def test_fires_every_interval(self, hard_unsat):
+        snapshots = []
+        solver = CdclSolver(hard_unsat)
+        solver.set_progress(snapshots.append, interval=50)
+        result = solver.solve()
+        assert result.is_unsat
+        assert result.stats.conflicts >= 100  # sanity: workload is non-trivial
+        assert len(snapshots) == result.stats.conflicts // 50
+        # Samples land exactly on interval boundaries (one check/conflict).
+        assert [s.conflicts for s in snapshots] == \
+            [50 * (i + 1) for i in range(len(snapshots))]
+
+    def test_snapshot_fields_consistent(self, hard_unsat):
+        snapshots = []
+        solver = CdclSolver(hard_unsat)
+        solver.set_progress(snapshots.append, interval=50)
+        solver.solve()
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert later.conflicts > earlier.conflicts
+            assert later.decisions >= earlier.decisions
+            assert later.propagations >= earlier.propagations
+            assert later.elapsed_s >= earlier.elapsed_s
+        last = snapshots[-1]
+        assert last.conflicts_per_sec > 0
+        assert last.propagations_per_conflict > 0
+        assert last.learned_db_size > 0
+        assert last.trail_depth >= 0
+        assert last.decision_level_ema > 0
+
+    def test_no_hook_means_no_overhead_state(self, hard_unsat):
+        solver = CdclSolver(hard_unsat)
+        result = solver.solve()
+        assert result.is_unsat  # off path unaffected
+
+    def test_uninstall(self, hard_unsat):
+        snapshots = []
+        solver = CdclSolver(hard_unsat)
+        solver.set_progress(snapshots.append, interval=50)
+        solver.set_progress(None)
+        solver.solve()
+        assert snapshots == []
+
+    def test_interval_validation(self, hard_unsat):
+        solver = CdclSolver(hard_unsat)
+        with pytest.raises(SolverError):
+            solver.set_progress(lambda s: None, interval=0)
+
+    def test_solve_cnf_forwards_hook(self, hard_unsat):
+        snapshots = []
+        result = solve_cnf(hard_unsat, progress=snapshots.append,
+                           progress_interval=50)
+        assert result.is_unsat
+        assert snapshots
+
+    def test_rate_resets_per_solve_call(self, hard_unsat):
+        """Incremental reuse: conflicts/sec uses this call's work only."""
+        solver = CdclSolver(hard_unsat)
+        solver.solve(max_conflicts=120)
+        snapshots = []
+        solver.set_progress(snapshots.append, interval=10)
+        solver.solve()
+        # Cumulative counters carry over, but the first sample of the second
+        # call reflects at most interval conflicts of *new* work beyond them.
+        assert snapshots
+        assert snapshots[0].conflicts > 120
+        assert snapshots[0].conflicts <= 130
+
+
+class TestNewStats:
+    def test_peak_trail_and_db_size_populated(self, hard_unsat):
+        stats = CdclSolver(hard_unsat).solve().stats
+        assert stats.peak_trail > 0
+        assert stats.learned_db_size > 0
+        assert stats.learned_db_size <= stats.learned_clauses
+
+    def test_sat_exit_samples_full_trail(self):
+        cnf = random_cnf(30, 60, seed=1, min_width=3, max_width=3)
+        result = CdclSolver(cnf).solve()
+        assert result.is_sat
+        # At a SAT exit every variable is assigned, so the peak is total.
+        assert result.stats.peak_trail == cnf.num_vars
+
+    def test_propagations_per_conflict(self):
+        stats = SolverStats(propagations=100, conflicts=4)
+        assert stats.propagations_per_conflict == 25.0
+        assert SolverStats().propagations_per_conflict == 0.0
+
+    def test_as_dict_tracks_every_field(self):
+        stats = SolverStats()
+        expected = {f.name for f in dataclasses.fields(SolverStats)}
+        assert set(stats.as_dict()) == expected
+        assert "learned_db_size" in expected and "peak_trail" in expected
+
+
+class TestProgressSnapshot:
+    def test_as_dict_round_trip(self):
+        snapshot = ProgressSnapshot(conflicts=100, restarts=2)
+        data = snapshot.as_dict()
+        assert data["conflicts"] == 100
+        assert ProgressSnapshot(**data) == snapshot
+
+    def test_progress_line_format(self):
+        line = ProgressSnapshot(conflicts=1024, conflicts_per_sec=512.0,
+                                restarts=3, learned_db_size=200,
+                                trail_depth=40,
+                                decision_level_ema=7.25).progress_line()
+        assert line.startswith("c ")
+        assert "1024 conflicts" in line
+        assert "512 conf/s" in line
+        assert "3 restarts" in line
+        assert "200 learned" in line
+        assert "40 trail" in line
+        assert "7.2 dl-ema" in line
