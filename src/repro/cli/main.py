@@ -15,6 +15,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.aig.aig import AIG
@@ -31,8 +32,10 @@ from repro.obs import (
     set_tracer,
     verbosity_level,
 )
+from repro.resilience import RetryPolicy, Supervisor, Watchdog, use_watchdog
 from repro.sat.backends import (
     BACKEND_NAMES,
+    FallbackBackend,
     InternalBackend,
     PortfolioBackend,
     available_backends,
@@ -59,8 +62,10 @@ CONFIG_PRESETS = {
     "cadical_like": cadical_like,
 }
 
-#: SAT-competition exit codes for ``solve``.
-EXIT_CODES = {"SAT": 10, "UNSAT": 20, "UNKNOWN": 0, "TIMEOUT": 0}
+#: SAT-competition exit codes for ``solve``.  A tripped resource watchdog
+#: (``MEMOUT``) is an inconclusive result, like a timeout.
+EXIT_CODES = {"SAT": 10, "UNSAT": 20, "UNKNOWN": 0, "TIMEOUT": 0,
+              "MEMOUT": 0}
 
 #: File extensions treated as DIMACS CNF; AIGER files are sniffed by header.
 CNF_SUFFIXES = (".cnf", ".dimacs")
@@ -207,8 +212,27 @@ def cmd_solve(args: argparse.Namespace) -> int:
         backend = get_backend(backend_name, **backend_kwargs)
     else:
         backend = resolve_backend(backend_name, binary=args.solver_binary)
+    if isinstance(backend, PortfolioBackend) and (args.retries
+                                                  or args.fallback):
+        raise CliError(
+            "--retries/--fallback do not apply to --portfolio/--cube-depth "
+            "(the portfolio supervises its own workers and degrades itself)")
+    supervisor = None
+    if args.retries:
+        # N retries = N + 1 total attempts per failure key.
+        supervisor = Supervisor(RetryPolicy(max_attempts=args.retries + 1))
+    resilient = None
+    if not isinstance(backend, PortfolioBackend) and (
+            supervisor is not None or args.fallback):
+        degrade_to = InternalBackend() \
+            if args.fallback and not isinstance(backend, InternalBackend) \
+            else None
+        resilient = FallbackBackend(backend, fallback=degrade_to,
+                                    supervisor=supervisor)
+        backend = resilient
     # Fail fast on a missing external binary — before the (potentially
-    # minutes-long) preprocessing pipeline runs, not after.
+    # minutes-long) preprocessing pipeline runs, not after.  With
+    # --fallback, a reachable fallback is enough to proceed.
     ensure_available(backend)
     quiet = args.quiet
 
@@ -247,28 +271,57 @@ def cmd_solve(args: argparse.Namespace) -> int:
                 if backend.cube_depth else "racing portfolio")
         _comment(f"portfolio: {backend.num_workers} workers, {mode}", quiet)
 
+    if args.mem_limit:
+        _comment(f"memory ceiling {args.mem_limit:g} MB (soft watchdog)",
+                 quiet)
+
     start = time.perf_counter()
     portfolio_report = None
-    if isinstance(backend, PortfolioBackend):
-        portfolio_report = backend.solve_detailed(
-            cnf, config=config, time_limit=args.time_limit,
-            max_conflicts=args.max_conflicts,
-            max_decisions=args.max_decisions)
-        result = portfolio_report.result
-    else:
-        solve_kwargs = {}
-        if getattr(args, "verbose", 0) and not quiet \
-                and isinstance(backend, InternalBackend):
-            # kissat-style periodic progress lines on stdout 'c' comments.
-            solve_kwargs["progress"] = \
-                lambda snapshot: print(snapshot.progress_line())
-        result = backend.solve(cnf, config=config, time_limit=args.time_limit,
-                               max_conflicts=args.max_conflicts,
-                               max_decisions=args.max_decisions,
-                               **solve_kwargs)
+    # The watchdog is process-global and survives fork, so portfolio
+    # workers inherit the ceiling too.
+    guard = use_watchdog(Watchdog(mem_limit_mb=args.mem_limit)) \
+        if args.mem_limit else nullcontext()
+    with guard:
+        if isinstance(backend, PortfolioBackend):
+            portfolio_report = backend.solve_detailed(
+                cnf, config=config, time_limit=args.time_limit,
+                max_conflicts=args.max_conflicts,
+                max_decisions=args.max_decisions)
+            result = portfolio_report.result
+        else:
+            solve_kwargs = {}
+            if getattr(args, "verbose", 0) and not quiet \
+                    and isinstance(backend, InternalBackend):
+                # kissat-style periodic progress lines on stdout 'c' comments.
+                solve_kwargs["progress"] = \
+                    lambda snapshot: print(snapshot.progress_line())
+            result = backend.solve(cnf, config=config,
+                                   time_limit=args.time_limit,
+                                   max_conflicts=args.max_conflicts,
+                                   max_decisions=args.max_decisions,
+                                   **solve_kwargs)
     solve_time = time.perf_counter() - start
 
+    if resilient is not None:
+        if supervisor is not None and supervisor.retries_granted:
+            _comment(f"WARNING: backend {resilient.primary.name} retried "
+                     f"{supervisor.retries_granted} time(s)", quiet)
+        for event in resilient.events:
+            _comment(f"WARNING: backend fallback: {event}", quiet)
+        if resilient.fallbacks:
+            _comment(f"WARNING: degraded from {resilient.primary.name} to "
+                     f"{resilient.fallback.name}", quiet)
+
     if portfolio_report is not None:
+        spawn_failed = [worker.index for worker in portfolio_report.workers
+                        if worker.status == "SPAWN_FAILED"]
+        if spawn_failed:
+            _comment(f"WARNING: worker(s) {spawn_failed} failed to spawn",
+                     quiet)
+        if portfolio_report.winner is not None \
+                and portfolio_report.winner.endswith("+seq-fallback"):
+            _comment("WARNING: every portfolio worker was lost; verdict "
+                     "comes from the in-process sequential fallback", quiet)
         for worker in portfolio_report.workers:
             detail = ""
             if worker.stats is not None:
@@ -286,6 +339,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
             _comment(f"winner: {portfolio_report.winner}", quiet)
 
     stats = result.stats
+    if result.status == "MEMOUT":
+        _comment("WARNING: memory ceiling reached; result is MEMOUT", quiet)
     _comment(f"decisions {stats.decisions} conflicts {stats.conflicts} "
              f"propagations {stats.propagations} restarts {stats.restarts}",
              quiet)
@@ -315,6 +370,15 @@ def cmd_solve(args: argparse.Namespace) -> int:
             "stats": stats.as_dict(),
             "model": ({str(var): value for var, value in result.model.items()}
                       if result.is_sat and not args.no_model else None),
+        }
+        payload["resilience"] = {
+            "retries": (supervisor.retries_granted
+                        if supervisor is not None else 0),
+            "fallbacks": resilient.fallbacks if resilient is not None else 0,
+            "fallback_events": (list(resilient.events)
+                                if resilient is not None else []),
+            "mem_limit_mb": args.mem_limit,
+            "memout": result.status == "MEMOUT",
         }
         if portfolio_report is not None:
             payload["portfolio"] = portfolio_report.as_dict()
@@ -556,6 +620,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="internal-solver decision budget")
     solve.add_argument("--no-model", action="store_true",
                        help="suppress the 'v' model lines on SAT")
+    solve.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry transient backend failures (crashed "
+                            "binary, I/O error) up to N times before giving "
+                            "up or falling back (default: 0)")
+    solve.add_argument("--mem-limit", type=float, default=None, metavar="MB",
+                       help="soft memory ceiling for solving; exceeding it "
+                            "yields a clean MEMOUT verdict (exit code 0) "
+                            "instead of an OOM kill")
+    solve.add_argument("--fallback", action="store_true",
+                       help="if the external backend fails (after any "
+                            "--retries), degrade to the internal solver "
+                            "instead of erroring out")
     solve.set_defaults(handler=cmd_solve)
 
     preprocess = subparsers.add_parser(

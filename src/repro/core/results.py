@@ -28,6 +28,11 @@ SOLVED_STATUSES = ("SAT", "UNSAT")
 #: hard (wall-clock kill) limit.
 TIMEOUT_STATUSES = ("UNKNOWN", "TIMEOUT")
 
+#: Statuses produced when a resource watchdog stops a run cleanly (see
+#: :mod:`repro.resilience`).  Neither solved nor time-charged — and never
+#: cached by the runner, since a rerun under a higher ceiling may succeed.
+RESOURCE_STATUSES = ("MEMOUT",)
+
 
 @dataclass
 class InstanceRun:

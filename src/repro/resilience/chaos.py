@@ -1,0 +1,305 @@
+"""Deterministic fault injection for the execution layers.
+
+The chaos harness makes failure *reproducible*: a :class:`ChaosSpec`
+describes faults by content (task-name substrings, worker indices,
+conflict counts) rather than by timing, so the same spec against the same
+inputs injects the same faults on every run.  Specs come from code
+(:func:`use_chaos` in tests) or from the ``REPRO_CHAOS`` environment
+variable — the env route matters because it crosses ``fork``/``spawn``
+into pool and portfolio workers, where the interesting faults live.
+
+Spec syntax (comma-separated ``key=value``)::
+
+    REPRO_CHAOS="kill_worker=1|2@50"      # SIGKILL portfolio workers 1 and 2
+                                          #   after 50 conflicts each
+    REPRO_CHAOS="kill_task=ph6"           # SIGKILL the pool worker running
+                                          #   any task whose name contains ph6
+    REPRO_CHAOS="oom_task=ph6"            # raise MemoryError in that task
+    REPRO_CHAOS="fail_task=ph6"           # raise OSError in that task
+    REPRO_CHAOS="store_errors=2"          # first 2 store appends raise OSError
+    REPRO_CHAOS="backend_missing=1"       # subprocess backend: binary vanishes
+    REPRO_CHAOS="backend_garbage=1"       # subprocess backend: garbage output
+    REPRO_CHAOS="delay=0.05"              # sleep at every task start
+    REPRO_CHAOS="kill_task=ph6,flags=DIR" # one-shot: each fault fires once,
+                                          #   coordinated through DIR across
+                                          #   processes (crash→retry→succeed)
+
+Injection points are pulled, not pushed: instrumented code calls
+:func:`get_chaos` and invokes the relevant hook.  With no spec installed
+that returns :data:`NULL_CHAOS`, whose hooks are no-ops — the disabled
+path costs one env lookup at each (coarse-grained) injection point and
+nothing in solver inner loops.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import BackendUnavailableError
+
+__all__ = [
+    "ChaosSpec",
+    "ChaosMonkey",
+    "NULL_CHAOS",
+    "parse_spec",
+    "get_chaos",
+    "set_chaos",
+    "use_chaos",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable holding the active chaos spec.
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Declarative description of the faults to inject."""
+
+    kill_workers: tuple[int, ...] = ()   # portfolio worker indices to SIGKILL
+    kill_after_conflicts: int = 1        # ... once they reach this many conflicts
+    kill_task: str | None = None         # SIGKILL pool worker on matching task
+    oom_task: str | None = None          # raise MemoryError in matching task
+    fail_task: str | None = None         # raise OSError in matching task
+    store_errors: int = 0                # fail the first N store appends
+    backend_missing: bool = False        # subprocess backend binary "vanishes"
+    backend_garbage: bool = False        # subprocess backend prints garbage
+    delay_s: float = 0.0                 # sleep injected at every task start
+    flags_dir: str | None = None         # set => faults fire once, cross-process
+    seed: int = 0
+
+
+def parse_spec(text: str) -> ChaosSpec:
+    """Parse the ``REPRO_CHAOS`` syntax into a :class:`ChaosSpec`."""
+    values: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if key == "kill_worker":
+            indices, _, after = raw.partition("@")
+            values["kill_workers"] = tuple(
+                int(idx) for idx in indices.split("|") if idx != "")
+            if after:
+                values["kill_after_conflicts"] = int(after)
+        elif key in ("kill_task", "oom_task", "fail_task"):
+            values[key] = raw
+        elif key == "store_errors":
+            values["store_errors"] = int(raw)
+        elif key in ("backend_missing", "backend_garbage"):
+            values[key] = raw not in ("", "0", "false", "no")
+        elif key == "delay":
+            values["delay_s"] = float(raw)
+        elif key == "flags":
+            values["flags_dir"] = raw
+        elif key == "seed":
+            values["seed"] = int(raw)
+        else:
+            raise ValueError(f"unknown chaos key: {key!r}")
+    return ChaosSpec(**values)
+
+
+def format_spec(spec: ChaosSpec) -> str:
+    """Inverse of :func:`parse_spec` (for passing specs to subprocesses)."""
+    parts: list[str] = []
+    if spec.kill_workers:
+        indices = "|".join(str(idx) for idx in spec.kill_workers)
+        parts.append(f"kill_worker={indices}@{spec.kill_after_conflicts}")
+    for key in ("kill_task", "oom_task", "fail_task"):
+        value = getattr(spec, key)
+        if value is not None:
+            parts.append(f"{key}={value}")
+    if spec.store_errors:
+        parts.append(f"store_errors={spec.store_errors}")
+    if spec.backend_missing:
+        parts.append("backend_missing=1")
+    if spec.backend_garbage:
+        parts.append("backend_garbage=1")
+    if spec.delay_s:
+        parts.append(f"delay={spec.delay_s}")
+    if spec.flags_dir is not None:
+        parts.append(f"flags={spec.flags_dir}")
+    if spec.seed:
+        parts.append(f"seed={spec.seed}")
+    return ",".join(parts)
+
+
+class ChaosMonkey:
+    """Executes one :class:`ChaosSpec` at the instrumented injection points.
+
+    With ``flags_dir`` set, each distinct fault fires at most once, using
+    exclusive file creation in that directory as the cross-process latch —
+    this is how tests express "crash the first execution, let the retry
+    succeed".
+    """
+
+    enabled = True
+
+    def __init__(self, spec: ChaosSpec | str) -> None:
+        if isinstance(spec, str):
+            spec = parse_spec(spec)
+        self.spec = spec
+        self._store_errors_left = spec.store_errors
+
+    # ------------------------------------------------------------------ #
+    # One-shot coordination
+
+    def _arm(self, tag: str) -> bool:
+        """True iff the fault tagged ``tag`` should fire now."""
+        if self.spec.flags_dir is None:
+            return True
+        flag = Path(self.spec.flags_dir) / tag.replace("/", "_")
+        try:
+            flag.parent.mkdir(parents=True, exist_ok=True)
+            with open(flag, "x", encoding="utf-8") as handle:
+                handle.write(str(os.getpid()))
+            return True
+        except FileExistsError:
+            return False
+        except OSError:  # unwritable flags dir: fail open (fault fires)
+            return True
+
+    # ------------------------------------------------------------------ #
+    # Injection points
+
+    def on_task_start(self, name: str) -> None:
+        """Called by the batch worker as it starts executing a task."""
+        spec = self.spec
+        if spec.delay_s:
+            time.sleep(spec.delay_s)
+        if spec.kill_task and spec.kill_task in name \
+                and self._arm(f"kill_task.{name}"):
+            logger.warning("chaos: SIGKILL self (task %s)", name)
+            os.kill(os.getpid(), signal.SIGKILL)
+        if spec.oom_task and spec.oom_task in name \
+                and self._arm(f"oom_task.{name}"):
+            raise MemoryError(f"chaos: injected OOM in task {name}")
+        if spec.fail_task and spec.fail_task in name \
+                and self._arm(f"fail_task.{name}"):
+            raise OSError(f"chaos: injected fault in task {name}")
+
+    def on_store_append(self, path) -> None:
+        """Called by :meth:`ResultStore.put` before writing a record."""
+        if self._store_errors_left > 0:
+            self._store_errors_left -= 1
+            raise OSError(f"chaos: injected store append failure ({path})")
+
+    def progress_killer(self, index: int) -> Callable | None:
+        """SIGKILL hook for portfolio worker ``index``, or None.
+
+        Returned callable matches the solver progress-callback signature
+        and kills the process once the conflict count crosses the spec's
+        threshold — deterministic in solver-progress terms, not wall time.
+        """
+        spec = self.spec
+        if index not in spec.kill_workers:
+            return None
+        threshold = spec.kill_after_conflicts
+
+        def _kill(snapshot) -> None:
+            if snapshot.conflicts >= threshold \
+                    and self._arm(f"kill_worker.{index}"):
+                logger.warning("chaos: SIGKILL portfolio worker %d at %d "
+                               "conflicts", index, snapshot.conflicts)
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        return _kill
+
+    def on_backend_spawn(self, name: str) -> None:
+        """Called by :class:`SubprocessBackend` before launching the binary."""
+        if self.spec.backend_missing and self._arm(f"backend_missing.{name}"):
+            raise BackendUnavailableError(
+                f"chaos: backend binary {name!r} unavailable")
+
+    def mangle_backend_output(self, name: str, stdout: str) -> str:
+        """Called with the binary's stdout; may replace it with garbage."""
+        if self.spec.backend_garbage and self._arm(f"backend_garbage.{name}"):
+            return "chaos: not a dimacs answer\n"
+        return stdout
+
+    def __repr__(self) -> str:
+        return f"ChaosMonkey({format_spec(self.spec)!r})"
+
+
+class _NullChaos:
+    """The disabled path: shared singleton, every hook a no-op."""
+
+    enabled = False
+    spec = ChaosSpec()
+
+    def on_task_start(self, name: str) -> None:
+        pass
+
+    def on_store_append(self, path) -> None:
+        pass
+
+    def progress_killer(self, index: int) -> None:
+        return None
+
+    def on_backend_spawn(self, name: str) -> None:
+        pass
+
+    def mangle_backend_output(self, name: str, stdout: str) -> str:
+        return stdout
+
+    def __repr__(self) -> str:
+        return "NULL_CHAOS"
+
+
+NULL_CHAOS = _NullChaos()
+
+#: Programmatically installed monkey (wins over the environment).
+_active: ChaosMonkey | None = None
+#: Cache for the env-driven monkey: (spec text, monkey).  Keeping one
+#: instance per spec string preserves stateful counters (store_errors).
+_env_cache: tuple[str, ChaosMonkey] | None = None
+
+
+def get_chaos() -> ChaosMonkey | _NullChaos:
+    """The active chaos monkey, or :data:`NULL_CHAOS` when none is armed."""
+    global _env_cache
+    if _active is not None:
+        return _active
+    text = os.environ.get(CHAOS_ENV)
+    if not text:
+        return NULL_CHAOS
+    if _env_cache is None or _env_cache[0] != text:
+        try:
+            _env_cache = (text, ChaosMonkey(text))
+        except (ValueError, TypeError) as error:
+            logger.error("ignoring malformed %s=%r: %s",
+                         CHAOS_ENV, text, error)
+            _env_cache = (text, NULL_CHAOS)  # type: ignore[assignment]
+    return _env_cache[1]
+
+
+def set_chaos(monkey: ChaosMonkey | None) -> ChaosMonkey | None:
+    """Install ``monkey`` process-globally; return the previous one."""
+    global _active
+    previous = _active
+    _active = monkey
+    return previous
+
+
+@contextmanager
+def use_chaos(monkey: ChaosMonkey | ChaosSpec | str | None):
+    """Arm ``monkey`` for the duration of the ``with`` block (this process
+    only — use ``REPRO_CHAOS`` to reach worker processes)."""
+    if isinstance(monkey, (ChaosSpec, str)):
+        monkey = ChaosMonkey(monkey)
+    previous = set_chaos(monkey)
+    try:
+        yield monkey
+    finally:
+        set_chaos(previous)

@@ -16,7 +16,17 @@ a :class:`~concurrent.futures.ProcessPoolExecutor`:
   results are appended as they complete, so an interrupted sweep resumes
   where it stopped;
 * **in-batch deduplication** — identical cells submitted twice in one batch
-  execute once.
+  execute once;
+* **supervision** — a worker process dying (OOM killer, SIGKILL, segfault)
+  breaks the pool, which is detected, rebuilt and the unfinished tasks
+  requeued under a bounded, backed-off retry budget
+  (:class:`repro.resilience.Supervisor`) instead of aborting the batch;
+  tasks whose retries are exhausted become terminal ``ERROR`` runs.  With
+  ``mem_limit_mb`` set, every worker arms a soft memory watchdog (plus a
+  hard rlimit) so an OOM-bound task ends as a clean ``MEMOUT`` run rather
+  than a pool-level crash.  Store appends that fail are retried and, as a
+  last resort, dropped *visibly* (``resilience.store_errors`` counter) —
+  an unpersistable result never aborts the batch.
 
 Results are returned in task order regardless of completion order.
 """
@@ -31,17 +41,35 @@ import tempfile
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
 from repro.core.pipeline import run_pipeline
-from repro.core.results import InstanceRun
+from repro.core.results import RESOURCE_STATUSES, InstanceRun
+from repro.errors import ResourceLimitExceeded, is_transient
 from repro.obs import Tracer, get_tracer, set_tracer
-from repro.runner.store import ResultStore
+from repro.resilience.chaos import get_chaos
+from repro.resilience.policy import RetryPolicy, Supervisor
+from repro.resilience.watchdog import (Watchdog, install_worker_limits,
+                                       use_watchdog)
+from repro.runner.store import ResultStore, StoreError
 from repro.runner.task import Task
 from repro.sat.configs import SolverConfig
 from repro.sat.stats import SolverStats
 
 logger = logging.getLogger(__name__)
+
+#: Retry policy used for worker-death requeues when the caller does not
+#: supply a supervisor: bounded pool rebuilds, never an aborted batch.
+_CRASH_POLICY = RetryPolicy(max_attempts=3, backoff_base=0.1, backoff_max=2.0)
+
+#: Attempts at persisting one result before it is (visibly) dropped.
+_STORE_ATTEMPTS = 3
+
+#: Statuses that must not be cached: ERROR runs are retried on resume, and
+#: resource trips (MEMOUT) may succeed under a higher ceiling — the limit
+#: is not part of the task fingerprint.
+_UNCACHED_STATUSES = ("ERROR",) + RESOURCE_STATUSES
 
 
 class HardTimeout(Exception):
@@ -64,8 +92,9 @@ def execute_task(task: Task) -> InstanceRun:
     This is the single execution path for serial runs, pool workers and
     tests, so every mode produces identical results.  A task that exceeds
     its ``hard_timeout`` is reported as a ``TIMEOUT`` run instead of raising;
-    unexpected pipeline/solver errors are reported as ``ERROR`` runs so one
-    bad cell cannot abort a long sweep.
+    a tripped resource watchdog (or a hard rlimit's ``MemoryError``) becomes
+    a clean ``MEMOUT``/``TIMEOUT`` run; unexpected pipeline/solver errors are
+    reported as ``ERROR`` runs so one bad cell cannot abort a long sweep.
     """
     config = task.config if task.config is not None else SolverConfig()
     config = replace(config, seed=task.seed())
@@ -99,6 +128,9 @@ def execute_task(task: Task) -> InstanceRun:
                                                      _raise_hard_timeout)
                     previous_timer = signal.setitimer(signal.ITIMER_REAL,
                                                       task.hard_timeout)
+                # Fault injection runs inside the armed window so injected
+                # delays still count against the wall-clock budget.
+                get_chaos().on_task_start(task.instance_name)
                 run = run_pipeline(
                     aig, task.pipeline,
                     instance_name=task.instance_name,
@@ -113,6 +145,14 @@ def execute_task(task: Task) -> InstanceRun:
         except HardTimeout:
             disarm()
             run = _aborted_run(task, "TIMEOUT", time.perf_counter() - start)
+        except ResourceLimitExceeded as trip:
+            disarm()
+            run = _aborted_run(task, trip.status, time.perf_counter() - start)
+        except MemoryError:
+            # The hard rlimit backstop tripped outside the solver loop
+            # (the soft watchdog converts in-loop trips itself).
+            disarm()
+            run = _aborted_run(task, "MEMOUT", time.perf_counter() - start)
         except Exception:
             disarm()
             logger.exception("task %s/%s failed", task.instance_name,
@@ -192,14 +232,23 @@ class BatchRunner:
     """Execute batches of tasks, optionally in parallel and against a store.
 
     ``jobs`` is the worker-process count (``1`` executes in-process);
-    ``store`` enables cache lookup and persistence.
+    ``store`` enables cache lookup and persistence.  ``supervisor`` governs
+    retries of tasks whose worker died or which failed transiently (pool
+    crashes are always survived — without a supervisor a conservative
+    default policy covers worker-death requeues).  ``mem_limit_mb`` arms a
+    per-worker memory watchdog and hard rlimit so runaway tasks end as
+    ``MEMOUT`` runs instead of summoning the OOM killer.
     """
 
-    def __init__(self, jobs: int = 1, store: ResultStore | None = None) -> None:
+    def __init__(self, jobs: int = 1, store: ResultStore | None = None, *,
+                 supervisor: Supervisor | None = None,
+                 mem_limit_mb: float | None = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.store = store
+        self.supervisor = supervisor
+        self.mem_limit_mb = mem_limit_mb
 
     def run(self, tasks: list[Task]) -> BatchReport:
         """Run ``tasks`` and return their results in task order."""
@@ -255,44 +304,188 @@ class BatchRunner:
         if self.jobs == 1 or len(items) == 1:
             # In-process execution traces straight onto the active tracer.
             for fingerprint, (_, task) in items:
-                results[fingerprint] = self._finish(fingerprint, task,
-                                                    execute_task(task))
+                results[fingerprint] = self._finish(
+                    fingerprint, task, self._execute_inline(fingerprint, task))
             return results
-        workers = min(self.jobs, len(items))
+        return self._execute_pool({fingerprint: task
+                                   for fingerprint, (_, task) in items})
+
+    def _execute_inline(self, fingerprint: str, task: Task) -> InstanceRun:
+        """Run one task in-process, with watchdog and supervised retries.
+
+        In-process execution cannot lose a worker, so supervision here only
+        covers ``ERROR`` runs (transient by construction: anything the
+        pipeline classifies as permanent already failed identically on the
+        first attempt and burns one retry at most — the attempt cap is per
+        task).
+        """
+        while True:
+            if self.mem_limit_mb:
+                with use_watchdog(Watchdog(mem_limit_mb=self.mem_limit_mb)):
+                    run = execute_task(task)
+            else:
+                run = execute_task(task)
+            if (run.status != "ERROR" or self.supervisor is None
+                    or not self.supervisor.note_failure(
+                        f"task.{fingerprint[:16]}")):
+                return run
+
+    def _execute_pool(self, queue: dict[str, Task]) -> dict[str, InstanceRun]:
+        """Fan ``queue`` out across worker pools until every task is terminal.
+
+        A pool whose worker dies abnormally (SIGKILL, segfault, OOM killer)
+        is broken beyond reuse: every pending future fails at once, so one
+        crash cannot identify its culprit.  Every unfinished task of the
+        broken generation is charged one attempt against the supervisor
+        (and the batch budget), the pool is rebuilt and the survivors
+        requeued.  Tasks down to their *last* attempt are then quarantined
+        into solo single-task generations — a crash there charges exactly
+        the task that caused it, so a persistently crashing task cannot
+        burn its siblings' final attempts.  Tasks denied a retry become
+        terminal ``ERROR`` runs; the batch itself always completes.
+        """
+        results: dict[str, InstanceRun] = {}
+        supervisor = self.supervisor or Supervisor(_CRASH_POLICY)
         tracer = get_tracer()
         parent = tracer.current_span
         parent_id = parent.span_id if parent is not None else None
         trace_dir = tempfile.mkdtemp(prefix="repro-trace-") \
             if tracer.enabled else None
+
+        def key(fingerprint: str) -> str:
+            return f"task.{fingerprint[:16]}"
+
+        last_attempt = max(1, supervisor.policy.max_attempts - 1)
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {}
-                for fingerprint, (_, task) in items:
-                    trace_path = os.path.join(
-                        trace_dir, f"{fingerprint[:16]}.jsonl") \
-                        if trace_dir is not None else None
-                    future = pool.submit(_execute_task_traced, task,
-                                         trace_path)
-                    futures[future] = (fingerprint, trace_path)
-                for future in as_completed(futures):
-                    fingerprint, trace_path = futures[future]
-                    task = pending[fingerprint][1]
-                    results[fingerprint] = self._finish(fingerprint, task,
-                                                        future.result())
-                    if trace_path is not None:
-                        tracer.absorb(trace_path, parent_id=parent_id)
+            while queue:
+                suspect = next(
+                    (fingerprint for fingerprint in queue
+                     if supervisor.attempts(key(fingerprint)) >= last_attempt),
+                    None)
+                round_queue = {suspect: queue[suspect]} \
+                    if suspect is not None else dict(queue)
+                broken = self._pool_round(round_queue, results, supervisor,
+                                          tracer, parent_id, trace_dir)
+                for fingerprint in list(queue):
+                    if fingerprint in results:
+                        del queue[fingerprint]
+                if not broken:
+                    # Tasks still queued were granted in-pool retries; loop.
+                    continue
+                tracer.metrics.counter("resilience.worker_deaths").inc()
+                tracer.metrics.counter("resilience.pool_rebuilds").inc()
+                tracer.event("pool_rebuild", pending=len(round_queue))
+                logger.warning(
+                    "worker died; rebuilding pool with %d unfinished tasks",
+                    len(round_queue))
+                for fingerprint, task in round_queue.items():
+                    # No exception object exists for the killed worker;
+                    # abnormal death is transient by definition.
+                    if not supervisor.note_failure(key(fingerprint),
+                                                   transient=True,
+                                                   wait=False):
+                        results[fingerprint] = self._finish(
+                            fingerprint, task,
+                            _aborted_run(task, "ERROR", 0.0))
+                        del queue[fingerprint]
+                if queue:
+                    # One shared backoff for the whole rebuilt generation,
+                    # not one per requeued task.
+                    supervisor.backoff(key(next(iter(queue))))
         finally:
             if trace_dir is not None:
                 shutil.rmtree(trace_dir, ignore_errors=True)
         return results
 
+    def _pool_round(self, queue: dict[str, Task],
+                    results: dict[str, InstanceRun], supervisor: Supervisor,
+                    tracer: Tracer, parent_id: str | None,
+                    trace_dir: str | None) -> bool:
+        """Run one pool generation over ``queue``; return True if it broke.
+
+        Completed tasks are popped from ``queue`` into ``results`` as their
+        futures resolve.  When the pool breaks, futures that finished before
+        the crash but were not yet collected are harvested so a dead worker
+        never discards a sibling's completed work.
+        """
+        futures: dict = {}
+        broken = False
+        with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(queue)),
+                initializer=install_worker_limits,
+                initargs=(self.mem_limit_mb,)) as pool:
+            for fingerprint, task in queue.items():
+                trace_path = os.path.join(
+                    trace_dir, f"{fingerprint[:16]}.jsonl") \
+                    if trace_dir is not None else None
+                future = pool.submit(_execute_task_traced, task, trace_path)
+                futures[future] = (fingerprint, trace_path)
+            for future in as_completed(futures):
+                fingerprint, trace_path = futures[future]
+                task = queue[fingerprint]
+                try:
+                    run = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                except Exception as exc:
+                    # The worker survived but the task's result did not
+                    # (pickling failure, lost pipe): supervise it like any
+                    # other transient fault.
+                    logger.exception("task %s failed in pool",
+                                     fingerprint[:16])
+                    if (is_transient(exc) and supervisor.note_failure(
+                            f"task.{fingerprint[:16]}", exc, wait=False)):
+                        continue  # stays queued for the next generation
+                    run = _aborted_run(task, "ERROR", 0.0)
+                results[fingerprint] = self._finish(fingerprint, task, run)
+                del queue[fingerprint]
+                if trace_path is not None:
+                    tracer.absorb(trace_path, parent_id=parent_id)
+        if broken:
+            # Harvest results that completed before the pool broke.
+            for future, (fingerprint, trace_path) in futures.items():
+                if fingerprint not in queue or not future.done():
+                    continue
+                try:
+                    run = future.result()
+                except Exception:
+                    continue  # this future carries the crash, not a result
+                results[fingerprint] = self._finish(fingerprint,
+                                                    queue.pop(fingerprint),
+                                                    run)
+                if trace_path is not None:
+                    tracer.absorb(trace_path, parent_id=parent_id)
+        return broken
+
     def _finish(self, fingerprint: str, task: Task,
                 run: InstanceRun) -> InstanceRun:
         """Persist one fresh result as soon as it exists.
 
-        ERROR runs are transient (worker crash, resource blip) and stay out
-        of the store so a resume retries them.
+        ERROR runs are transient (worker crash, resource blip) and MEMOUT
+        runs limit-dependent, so both stay out of the store and a resume
+        retries them.  Store appends are themselves retried; a result that
+        ultimately cannot be persisted is returned anyway — dropped from
+        the cache, never from the batch — with the failure counted on
+        ``resilience.store_errors``.
         """
-        if self.store is not None and run.status != "ERROR":
-            self.store.put(fingerprint, run, seed=task.seed())
+        if self.store is None or run.status in _UNCACHED_STATUSES:
+            return run
+        tracer = get_tracer()
+        for attempt in range(1, _STORE_ATTEMPTS + 1):
+            try:
+                self.store.put(fingerprint, run, seed=task.seed())
+                return run
+            except (StoreError, OSError) as exc:
+                tracer.metrics.counter("resilience.store_errors").inc()
+                if attempt == _STORE_ATTEMPTS:
+                    tracer.event("store_give_up", task=fingerprint[:16],
+                                 error=repr(exc))
+                    logger.error(
+                        "result for %s could not be persisted "
+                        "(%d attempts): %r", fingerprint[:16], attempt, exc)
+                else:
+                    tracer.event("store_retry", task=fingerprint[:16],
+                                 attempt=attempt, error=repr(exc))
+                    time.sleep(0.01 * attempt)
         return run

@@ -24,6 +24,7 @@ from repro.benchgen.suite import (
 from repro.core.pipeline import PIPELINES
 from repro.errors import BackendError
 from repro.obs import Tracer, configure_logging, use_tracer, verbosity_level
+from repro.resilience import RetryPolicy, Supervisor
 from repro.runner.batch import BatchRunner
 from repro.runner.store import ResultStore
 from repro.runner.task import Task
@@ -95,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 2x time limit + 30 s)")
     parser.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes (default: 1 = in-process)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="per-task retry cap for transient failures and "
+                             "dead workers (default: a conservative built-in "
+                             "policy; 0 disables retries entirely)")
+    parser.add_argument("--mem-limit", type=float, default=None, metavar="MB",
+                        help="per-worker memory ceiling; a task exceeding it "
+                             "ends as a MEMOUT run instead of invoking the "
+                             "OOM killer")
     parser.add_argument("--store", type=Path, default=None,
                         help="JSONL result store path (default: "
                              "results/<suite>_size<N>_seed<S>_<solver>.jsonl)")
@@ -173,10 +182,17 @@ def main(argv: list[str] | None = None) -> int:
           f"{len(args.pipelines)} pipelines = {len(tasks)} tasks "
           f"({args.jobs} jobs, store {store_path})")
 
+    supervisor = None
+    if args.retries is not None:
+        supervisor = Supervisor(
+            RetryPolicy(max_attempts=max(1, args.retries + 1),
+                        batch_budget=0 if args.retries == 0 else None))
     tracer = Tracer(args.trace) if args.trace is not None else None
     try:
         with use_tracer(tracer):
-            report = BatchRunner(jobs=args.jobs, store=store).run(tasks)
+            report = BatchRunner(jobs=args.jobs, store=store,
+                                 supervisor=supervisor,
+                                 mem_limit_mb=args.mem_limit).run(tasks)
     finally:
         if tracer is not None:
             tracer.close()
@@ -193,4 +209,8 @@ def main(argv: list[str] | None = None) -> int:
     print(comparison.summary_text())
     print()
     print(f"Result store: {store_path} ({report.cache_summary()})")
+    if supervisor is not None and (supervisor.retries_granted
+                                   or supervisor.gave_up):
+        print(f"Resilience: {supervisor.retries_granted} retries granted, "
+              f"{len(supervisor.gave_up)} task(s) exhausted their budget")
     return 0

@@ -3,27 +3,55 @@
 Each completed task appends one JSON line keyed by the task fingerprint, so
 
 * a sweep interrupted at any point resumes by skipping every task whose
-  fingerprint is already on disk (a torn final line from a killed process is
+  fingerprint is already on disk (a torn line from a killed process is
   detected and ignored);
 * re-running the same suite spec is a pure cache read that reproduces the
   original aggregate numbers exactly;
 * stores are append-only and human-greppable — one run, one line.
+
+The store is hardened for concurrent writers and crashes:
+
+* appends are guarded by ``flock`` (where available) and written as one
+  buffered line, so two processes sharing a store cannot interleave
+  half-lines;
+* loading tolerates corruption *anywhere* in the file, not just the tail —
+  a torn first line, or a partial record with a complete record glued
+  behind it (the signature of an unlocked concurrent append), still yields
+  every intact record;
+* unusable fragments are quarantined to a ``.corrupt`` sidecar file next to
+  the store instead of being silently forgotten, so data loss is visible
+  and diagnosable after the fact.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+import os
 from pathlib import Path
 
 from repro.core.results import InstanceRun
-from repro.errors import ReproError
+from repro.errors import ReproError, TransientError
+from repro.resilience.chaos import get_chaos
 from repro.runner.task import SCHEMA_VERSION
 from repro.sat.stats import SolverStats
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
-class StoreError(ReproError):
-    """Raised when a result store file cannot be used."""
+#: How many embedded-record start markers a corrupt line is probed at
+#: before the whole line is quarantined (bounds worst-case work on
+#: pathological garbage).
+_RECOVERY_PROBES = 8
+
+
+class StoreError(ReproError, TransientError):
+    """Raised when a result store file cannot be used.
+
+    Transient: store failures are I/O failures (full disk, lost mount,
+    revoked handle), which the supervision layer may retry.
+    """
 
 
 def run_to_record(run: InstanceRun, fingerprint: str,
@@ -76,34 +104,89 @@ def canonical_record(run: InstanceRun) -> dict:
     }
 
 
-class ResultStore:
-    """Append-only JSONL store of task results, indexed by fingerprint."""
+def _parse_store_line(line: str) -> tuple[dict | None, str | None]:
+    """Parse one store line, recovering a record glued after a torn prefix.
 
-    def __init__(self, path: str | Path) -> None:
+    Returns ``(record, fragment)``: ``record`` is a parsed JSON object (or
+    None), ``fragment`` the unparseable prefix/line to quarantine (or
+    None).  A partial record with a complete one appended behind it — the
+    signature of an unlocked concurrent append or a crash mid-line — is
+    split at successive ``{"`` markers until a valid JSON suffix parses.
+    """
+    try:
+        return json.loads(line), None
+    except json.JSONDecodeError:
+        pass
+    search_from = 1
+    for _ in range(_RECOVERY_PROBES):
+        marker = line.find('{"', search_from)
+        if marker < 0:
+            break
+        try:
+            return json.loads(line[marker:]), line[:marker]
+        except json.JSONDecodeError:
+            search_from = marker + 1
+    return None, line
+
+
+class ResultStore:
+    """Append-only JSONL store of task results, indexed by fingerprint.
+
+    ``durable=True`` additionally ``fsync``\\ s every append — slower, but
+    an OS crash then loses at most the line being written (a killed
+    *process* never loses acknowledged lines either way).
+    """
+
+    def __init__(self, path: str | Path, durable: bool = False) -> None:
         self.path = Path(path)
+        self.durable = durable
         self._records: dict[str, dict] = {}
         self._skipped_lines = 0
+        self._quarantined = 0
         if self.path.exists():
             self._load()
 
+    @property
+    def quarantine_path(self) -> Path:
+        """Sidecar file collecting corrupt fragments found while loading."""
+        return self.path.with_name(self.path.name + ".corrupt")
+
     def _load(self) -> None:
-        """Index the existing file; tolerate a torn (interrupted) tail."""
+        """Index the existing file; tolerate corruption anywhere in it."""
+        fragments: list[str] = []
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
+                record, fragment = _parse_store_line(line)
+                if fragment is not None:
                     self._skipped_lines += 1
+                    fragments.append(fragment)
+                if record is None:
                     continue
                 if (not isinstance(record, dict)
                         or record.get("schema") != SCHEMA_VERSION
                         or "task" not in record):
-                    self._skipped_lines += 1
+                    # Valid JSON of the wrong shape: an old schema, not
+                    # corruption — skip it without quarantining.
+                    if fragment is None:
+                        self._skipped_lines += 1
                     continue
                 self._records[record["task"]] = record
+        if fragments:
+            self._quarantine(fragments)
+
+    def _quarantine(self, fragments: list[str]) -> None:
+        """Append corrupt fragments to the ``.corrupt`` sidecar (best
+        effort: quarantine must never turn detection into a new crash)."""
+        self._quarantined += len(fragments)
+        try:
+            with self.quarantine_path.open("a", encoding="utf-8") as handle:
+                for fragment in fragments:
+                    handle.write(fragment + "\n")
+        except OSError:  # pragma: no cover - unwritable store directory
+            pass
 
     def __len__(self) -> int:
         return len(self._records)
@@ -116,6 +199,11 @@ class ResultStore:
         """Corrupt / incompatible lines ignored while loading (torn writes)."""
         return self._skipped_lines
 
+    @property
+    def quarantined(self) -> int:
+        """Corrupt fragments moved to :attr:`quarantine_path` while loading."""
+        return self._quarantined
+
     def get_record(self, fingerprint: str) -> dict | None:
         return self._records.get(fingerprint)
 
@@ -126,13 +214,28 @@ class ResultStore:
 
     def put(self, fingerprint: str, run: InstanceRun,
             seed: int | None = None) -> dict:
-        """Persist one result; flushed line-by-line so interrupts lose at
-        most the run currently being written."""
+        """Persist one result; safe against concurrent writers.
+
+        The record travels as a single buffered line under an exclusive
+        ``flock`` (best effort where the platform lacks it), flushed —
+        and ``fsync``\\ ed when the store is ``durable`` — before the lock
+        drops, so interrupts lose at most the run currently being written
+        and parallel writers never interleave half-lines.
+        """
         record = run_to_record(run, fingerprint, seed=seed)
+        get_chaos().on_store_append(self.path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                if self.durable:
+                    os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         self._records[fingerprint] = record
         return record
 

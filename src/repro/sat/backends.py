@@ -44,8 +44,10 @@ from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 from repro.cnf.cnf import Cnf
-from repro.errors import BackendError, BackendUnavailableError
+from repro.errors import BackendError, BackendUnavailableError, is_transient
 from repro.obs import get_tracer
+from repro.resilience.chaos import get_chaos
+from repro.resilience.watchdog import WATCHDOG_PROGRESS_INTERVAL, get_watchdog
 from repro.sat.configs import SolverConfig
 from repro.sat.solver import DEFAULT_PROGRESS_INTERVAL, SolveResult, solve_cnf
 from repro.sat.stats import SolverStats
@@ -57,6 +59,7 @@ __all__ = [
     "InternalBackend",
     "SubprocessBackend",
     "PortfolioBackend",
+    "FallbackBackend",
     "BACKEND_NAMES",
     "INTERNAL_NAMES",
     "DEFAULT_BACKEND",
@@ -117,16 +120,19 @@ class SolverBackend(Protocol):
         ...
 
 
-def _compose_progress(tracer, progress):
-    """Fold the active tracer and a caller callback into one progress hook.
+def _compose_progress(tracer, progress, watchdog=None):
+    """Fold watchdog, tracer and caller callback into one progress hook.
 
-    Returns ``None`` when neither wants snapshots, so the solver's progress
-    machinery stays fully disarmed on the common path.
+    Returns ``None`` when none of them wants snapshots, so the solver's
+    progress machinery stays fully disarmed on the common path.  The
+    watchdog runs first: a resource trip should win over bookkeeping.
     """
-    if not tracer.enabled and progress is None:
+    if watchdog is None and not tracer.enabled and progress is None:
         return progress
 
     def hook(snapshot):
+        if watchdog is not None:
+            watchdog.check()
         if tracer.enabled:
             tracer.event("progress", **snapshot.as_dict())
         if progress is not None:
@@ -156,18 +162,37 @@ class InternalBackend:
         sampled every ``progress_interval`` conflicts) is specific to this
         backend; when a tracer is active each snapshot is also recorded as a
         ``progress`` trace event and the whole run as a ``solve`` span.
+
+        When a process-global watchdog is armed
+        (:func:`repro.resilience.get_watchdog`), its checks ride the same
+        progress hook at a tighter sampling interval and a trip returns a
+        clean ``MEMOUT``/``TIMEOUT`` result; a raw :class:`MemoryError`
+        escaping the solver (hard rlimit, allocation spike) is converted to
+        ``MEMOUT`` as well.
         """
         tracer = get_tracer()
+        watchdog = get_watchdog()
+        if watchdog is not None:
+            progress_interval = min(progress_interval,
+                                    WATCHDOG_PROGRESS_INTERVAL)
         logger.debug("internal solve: %d vars, %d clauses",
                      cnf.num_vars, len(cnf.clauses))
         with tracer.span("solve", backend=self.name, num_vars=cnf.num_vars,
                          num_clauses=len(cnf.clauses)) as span:
-            result = solve_cnf(cnf, config=config, time_limit=time_limit,
-                               max_conflicts=max_conflicts,
-                               max_decisions=max_decisions,
-                               assumptions=assumptions,
-                               progress=_compose_progress(tracer, progress),
-                               progress_interval=progress_interval)
+            start = time.perf_counter()
+            try:
+                result = solve_cnf(cnf, config=config, time_limit=time_limit,
+                                   max_conflicts=max_conflicts,
+                                   max_decisions=max_decisions,
+                                   assumptions=assumptions,
+                                   progress=_compose_progress(
+                                       tracer, progress, watchdog),
+                                   progress_interval=progress_interval)
+            except MemoryError:
+                result = SolveResult(
+                    status="MEMOUT", model=None,
+                    stats=SolverStats(
+                        solve_time=time.perf_counter() - start))
             span.set(status=result.status, conflicts=result.stats.conflicts,
                      decisions=result.stats.decisions)
         return result
@@ -280,6 +305,7 @@ class SubprocessBackend:
             cnf = constrained
 
         binary = self._require_binary()
+        get_chaos().on_backend_spawn(self.name)
         command = [binary]
         if time_limit is not None:
             whole_seconds = max(1, int(time_limit))
@@ -311,6 +337,8 @@ class SubprocessBackend:
                     f"({binary}): {exc}"
                 ) from exc
         elapsed = time.perf_counter() - start
+        process.stdout = get_chaos().mangle_backend_output(
+            self.name, process.stdout)
         return self._parse_output(cnf, process, elapsed,
                                   assumptions=assumptions)
 
@@ -355,10 +383,12 @@ class SubprocessBackend:
                 status = "UNSAT"
             else:
                 stderr_tail = process.stderr.strip().splitlines()[-1:] or [""]
+                death = (f"killed by signal {-process.returncode}"
+                         if process.returncode < 0
+                         else f"exit code {process.returncode}")
                 raise BackendError(
                     f"solver backend {self.name!r} produced no verdict "
-                    f"(exit code {process.returncode}; last stderr line: "
-                    f"{stderr_tail[0]!r})"
+                    f"({death}; last stderr line: {stderr_tail[0]!r})"
                 )
 
         if status != "SAT":
@@ -434,16 +464,41 @@ class PortfolioBackend:
 
         seed = self.seed + (config.seed if config is not None else 0)
         if self.cube_depth > 0:
-            return solve_cube_and_conquer(
+            detailed = solve_cube_and_conquer(
                 cnf, cube_depth=self.cube_depth,
                 num_workers=self.num_workers, config=config,
                 heuristic=self.heuristic, seed=seed, time_limit=time_limit,
                 max_conflicts=max_conflicts, max_decisions=max_decisions,
                 assumptions=assumptions)
-        return solve_portfolio(
-            cnf, num_workers=self.num_workers, base_config=config,
-            seed=seed, time_limit=time_limit, max_conflicts=max_conflicts,
-            max_decisions=max_decisions, assumptions=assumptions)
+        else:
+            detailed = solve_portfolio(
+                cnf, num_workers=self.num_workers, base_config=config,
+                seed=seed, time_limit=time_limit, max_conflicts=max_conflicts,
+                max_decisions=max_decisions, assumptions=assumptions)
+        self._shed_on_spawn_failures(detailed)
+        return detailed
+
+    def _shed_on_spawn_failures(self, detailed) -> None:
+        """Degrade worker count when the OS refused to spawn workers.
+
+        Repeated ``fork``/``spawn`` failures signal a host under memory or
+        pid pressure; instead of asking for the same doomed parallelism on
+        the next call, the backend sheds the failed workers (never below
+        one — the last worker runs in-process and cannot fail to spawn).
+        """
+        failed = sum(1 for worker in detailed.workers
+                     if worker.status == "SPAWN_FAILED")
+        if not failed or self.num_workers <= 1:
+            return
+        previous = self.num_workers
+        self.num_workers = max(1, self.num_workers - failed)
+        tracer = get_tracer()
+        tracer.metrics.counter("resilience.sheds").inc()
+        tracer.event("portfolio_shed", previous=previous,
+                     num_workers=self.num_workers, spawn_failures=failed)
+        logger.warning(
+            "portfolio shed %d -> %d workers after %d spawn failure(s)",
+            previous, self.num_workers, failed)
 
     def solve(self, cnf: Cnf, config: SolverConfig | None = None,
               time_limit: float | None = None,
@@ -458,6 +513,81 @@ class PortfolioBackend:
     def __repr__(self) -> str:
         return (f"PortfolioBackend(num_workers={self.num_workers}, "
                 f"cube_depth={self.cube_depth})")
+
+
+class FallbackBackend:
+    """Degradation wrapper: retry a flaky primary, then fall back.
+
+    Implements the :class:`SolverBackend` protocol around a ``primary``
+    backend (typically a :class:`SubprocessBackend`):
+
+    * transient failures (:func:`repro.errors.is_transient` — crashed
+      binary, garbage output, I/O errors) are retried under the optional
+      :class:`repro.resilience.Supervisor`;
+    * once retries are exhausted — or immediately for permanent failures
+      like a missing binary — the solve degrades to ``fallback``
+      (typically :class:`InternalBackend`), with the degradation recorded
+      in the result's ``stats.fallbacks``, the ``resilience.fallbacks``
+      counter, a ``backend_fallback`` trace event and :attr:`events` (the
+      CLI turns these into ``c WARNING`` lines).
+
+    With no ``fallback`` configured the wrapper only adds the retry layer.
+    """
+
+    def __init__(self, primary: SolverBackend,
+                 fallback: SolverBackend | None = None,
+                 supervisor=None) -> None:
+        self.primary = primary
+        self.fallback = fallback
+        self.supervisor = supervisor
+        self.name = primary.name
+        self.fallbacks = 0
+        self.events: list[str] = []
+
+    def available(self) -> bool:
+        if self.primary.available():
+            return True
+        return self.fallback is not None and self.fallback.available()
+
+    def solve(self, cnf: Cnf, config: SolverConfig | None = None,
+              time_limit: float | None = None,
+              max_conflicts: int | None = None,
+              max_decisions: int | None = None,
+              assumptions: list[int] | None = None) -> SolveResult:
+        key = f"backend.{self.primary.name}"
+        while True:
+            try:
+                return self.primary.solve(
+                    cnf, config=config, time_limit=time_limit,
+                    max_conflicts=max_conflicts,
+                    max_decisions=max_decisions, assumptions=assumptions)
+            except (BackendError, OSError) as error:
+                if (self.supervisor is not None and is_transient(error)
+                        and self.supervisor.note_failure(key, error)):
+                    continue
+                if self.fallback is None:
+                    raise
+                failure = error
+                break
+        self.fallbacks += 1
+        message = (f"backend {self.primary.name!r} failed ({failure}); "
+                   f"falling back to {self.fallback.name!r}")
+        self.events.append(message)
+        logger.warning("%s", message)
+        tracer = get_tracer()
+        tracer.metrics.counter("resilience.fallbacks").inc()
+        tracer.event("backend_fallback", primary=self.primary.name,
+                     fallback=self.fallback.name, error=repr(failure))
+        result = self.fallback.solve(
+            cnf, config=config, time_limit=time_limit,
+            max_conflicts=max_conflicts, max_decisions=max_decisions,
+            assumptions=assumptions)
+        result.stats.fallbacks += 1
+        return result
+
+    def __repr__(self) -> str:
+        return (f"FallbackBackend({self.primary!r}, "
+                f"fallback={self.fallback!r})")
 
 
 #: Names resolving to the built-in solver (one definition for every CLI).
@@ -546,7 +676,11 @@ def ensure_available(backend: SolverBackend) -> None:
     preprocessing pipelines) probe here first so a missing binary is
     reported before minutes of synthesis, not after.
     """
-    if isinstance(backend, SubprocessBackend):
+    if isinstance(backend, FallbackBackend):
+        if backend.fallback is not None and backend.fallback.available():
+            return
+        ensure_available(backend.primary)
+    elif isinstance(backend, SubprocessBackend):
         backend._require_binary()
     elif not backend.available():
         raise BackendUnavailableError(

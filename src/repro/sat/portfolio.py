@@ -37,6 +37,18 @@ Workers communicate over a ``multiprocessing`` queue and are always
 terminated and joined before the call returns (also on errors and timeouts),
 so portfolio solving composes with the batch runner's per-task hard
 timeouts without leaking processes.
+
+Worker death is a routine event, not a failure mode: a race with K dead
+workers still returns the first decisive verdict from the survivors, a
+failed ``fork``/``spawn`` only sheds that worker (reported as
+``SPAWN_FAILED``), and when *every* worker is lost on the multiprocess
+path the run degrades to one in-process sequential solve as the last rung
+of the degradation ladder (``sequential_fallback=False`` restores the old
+raise).  All of it is counted on the active tracer
+(``resilience.worker_deaths`` / ``resilience.spawn_failures`` /
+``resilience.fallbacks``) and the deterministic chaos harness
+(:mod:`repro.resilience.chaos`) can kill specific workers at specific
+conflict counts to exercise these paths in tests.
 """
 
 from __future__ import annotations
@@ -52,10 +64,14 @@ from dataclasses import dataclass, field, replace
 from queue import Empty
 
 from repro.cnf.cnf import Cnf
-from repro.errors import SolverError
+from repro.errors import SolverError, is_transient
 from repro.obs import NULL_TRACER, Tracer, get_tracer
+from repro.resilience.chaos import get_chaos
+from repro.resilience.watchdog import (WATCHDOG_PROGRESS_INTERVAL,
+                                       get_watchdog)
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
-from repro.sat.solver import CdclSolver, SolveResult
+from repro.sat.solver import (DEFAULT_PROGRESS_INTERVAL, CdclSolver,
+                              SolveResult)
 from repro.sat.stats import SolverStats
 
 logger = logging.getLogger(__name__)
@@ -270,6 +286,47 @@ def _worker_tracer(trace_path, index: int):
     return Tracer(trace_path, worker=f"w{index}")
 
 
+#: Conflict interval while a chaos kill hook is armed: tight, so the kill
+#: lands close to the requested conflict count.
+_CHAOS_PROGRESS_INTERVAL = 16
+
+
+def _install_worker_hooks(solver: CdclSolver, tracer, index: int) -> None:
+    """Arm the worker solver's progress hook with whatever wants samples.
+
+    Three optional consumers share the one hook: the worker tracer
+    (progress events), the inherited process-global watchdog (memory
+    ceiling / deadline, trips become clean MEMOUT/TIMEOUT results) and the
+    chaos harness's kill hook (deterministic worker death for the
+    resilience tests).  With none of them active the solver's progress
+    machinery stays disarmed.
+    """
+    hooks = []
+    interval = DEFAULT_PROGRESS_INTERVAL
+    if tracer.enabled:
+        hooks.append(lambda snapshot: tracer.event("progress",
+                                                   **snapshot.as_dict()))
+    watchdog = get_watchdog()
+    if watchdog is not None:
+        hooks.append(watchdog.hook)
+        interval = min(interval, WATCHDOG_PROGRESS_INTERVAL)
+    killer = get_chaos().progress_killer(index)
+    if killer is not None:
+        hooks.append(killer)
+        interval = min(interval, _CHAOS_PROGRESS_INTERVAL)
+    if not hooks:
+        return
+    if len(hooks) == 1:
+        solver.set_progress(hooks[0], interval=interval)
+        return
+
+    def hook(snapshot):
+        for consumer in hooks:
+            consumer(snapshot)
+
+    solver.set_progress(hook, interval=interval)
+
+
 def _race_worker(index: int, cnf: Cnf, config: SolverConfig,
                  time_limit: float | None, max_conflicts: int | None,
                  max_decisions: int | None, assumptions: list[int] | None,
@@ -278,10 +335,7 @@ def _race_worker(index: int, cnf: Cnf, config: SolverConfig,
     tracer = _worker_tracer(trace_path, index)
     try:
         solver = CdclSolver(cnf, config=config)
-        if tracer.enabled:
-            solver.set_progress(
-                lambda snapshot: tracer.event("progress",
-                                              **snapshot.as_dict()))
+        _install_worker_hooks(solver, tracer, index)
         with tracer.span("worker_solve", config=config.name,
                          index=index) as span:
             result = solver.solve(
@@ -293,8 +347,12 @@ def _race_worker(index: int, cnf: Cnf, config: SolverConfig,
                    "model": result.model, "core": result.core,
                    "stats": result.stats,
                    "elapsed": time.perf_counter() - start})
-    except Exception as exc:  # pragma: no cover - defensive
+    except Exception as exc:
+        # Anything escaping a worker must travel over the queue (losing it
+        # would look like a silent death to the parent); the transience
+        # classification rides along so the parent can retry sensibly.
         queue.put({"kind": "error", "index": index, "error": repr(exc),
+                   "transient": is_transient(exc),
                    "elapsed": time.perf_counter() - start})
     finally:
         tracer.close()
@@ -316,10 +374,7 @@ def _cube_worker(index: int, cnf: Cnf, config: SolverConfig,
         # One incremental session per worker: learned clauses, activities
         # and phases persist across this worker's cubes.
         solver = CdclSolver(cnf, config=config)
-        if tracer.enabled:
-            solver.set_progress(
-                lambda snapshot: tracer.event("progress",
-                                              **snapshot.as_dict()))
+        _install_worker_hooks(solver, tracer, index)
         worker_span = tracer.span("worker_solve", config=config.name,
                                   index=index, cubes=len(cubes))
         with worker_span:
@@ -371,8 +426,9 @@ def _cube_worker(index: int, cnf: Cnf, config: SolverConfig,
         queue.put({"kind": "exhausted", "index": index, "statuses": statuses,
                    "stats": solver.stats, "cubes_solved": completed,
                    "elapsed": time.perf_counter() - start})
-    except Exception as exc:  # pragma: no cover - defensive
+    except Exception as exc:
         queue.put({"kind": "error", "index": index, "error": repr(exc),
+                   "transient": is_transient(exc),
                    "stats": solver.stats if solver is not None else None,
                    "elapsed": time.perf_counter() - start})
     finally:
@@ -394,17 +450,22 @@ class _InlineQueue:
 # --------------------------------------------------------------------- #
 
 
-def _collect(procs: list, queue, decisive, time_limit: float | None):
+def _collect(procs: list, queue, decisive, time_limit: float | None,
+             pending: set[int] | None = None):
     """Await worker messages until one is decisive or all have reported.
 
     Returns ``(messages, winner_message)``; the caller terminates whatever
-    is still running.  A worker that dies without a message is recorded as
-    an error after a couple of confirming polls; when ``time_limit`` is set
-    a safety deadline (limit + grace) bounds the whole wait.
+    is still running.  ``pending`` restricts the wait to the workers that
+    actually started (spawn failures never report).  A worker that dies
+    without a message is recorded as a transient error — and counted on
+    ``resilience.worker_deaths`` — after a couple of confirming polls; when
+    ``time_limit`` is set a safety deadline (limit + grace) bounds the
+    whole wait.
     """
     messages: dict[int, dict] = {}
-    pending = set(range(len(procs)))
+    pending = set(range(len(procs))) if pending is None else set(pending)
     silent_dead: dict[int, int] = {}
+    tracer = get_tracer()
     deadline = (time.monotonic() + time_limit + _KILL_GRACE
                 if time_limit is not None else None)
     while pending:
@@ -418,7 +479,15 @@ def _collect(procs: list, queue, decisive, time_limit: float | None):
                         pending.discard(index)
                         messages[index] = {"kind": "error", "index": index,
                                            "error": "worker died without "
-                                                    "reporting", "elapsed": 0.0}
+                                                    "reporting",
+                                           "transient": True, "elapsed": 0.0}
+                        tracer.metrics.counter(
+                            "resilience.worker_deaths").inc()
+                        tracer.event("worker_death", index=index,
+                                     exitcode=procs[index].exitcode)
+                        logger.warning(
+                            "portfolio worker %d died without reporting "
+                            "(exit code %s)", index, procs[index].exitcode)
             if deadline is not None and time.monotonic() > deadline:
                 break
             continue
@@ -429,6 +498,35 @@ def _collect(procs: list, queue, decisive, time_limit: float | None):
         if decisive(message):
             return messages, message
     return messages, None
+
+
+def _start_workers(procs: list) -> tuple[list[int], dict[int, dict]]:
+    """Start every worker, tolerating individual spawn failures.
+
+    A host under memory or pid pressure can refuse a ``fork``/``spawn``;
+    losing one lane of the race is strictly better than losing the race,
+    so failed spawns are recorded as ``SPAWN_FAILED`` pseudo-messages (and
+    on the ``resilience.spawn_failures`` counter) while the survivors run.
+    Returns ``(started_indices, spawn_failure_messages)``.
+    """
+    started: list[int] = []
+    failed: dict[int, dict] = {}
+    for index, proc in enumerate(procs):
+        try:
+            proc.start()
+            started.append(index)
+        except OSError as exc:
+            failed[index] = {"kind": "error", "index": index,
+                             "error": f"spawn failed: {exc!r}",
+                             "spawn_failed": True, "transient": True,
+                             "elapsed": 0.0}
+    if failed:
+        tracer = get_tracer()
+        tracer.metrics.counter("resilience.spawn_failures").inc(len(failed))
+        tracer.event("spawn_failures", workers=sorted(failed))
+        logger.warning("portfolio: failed to spawn worker(s) %s; racing %d "
+                       "survivor(s)", sorted(failed), len(started))
+    return started, failed
 
 
 def _shutdown(procs: list, queue) -> None:
@@ -465,8 +563,10 @@ def _worker_reports(configs: list[SolverConfig],
                                         status="CANCELLED"))
             continue
         if message["kind"] == "error":
+            status = "SPAWN_FAILED" if message.get("spawn_failed") \
+                else "ERROR"
             reports.append(WorkerReport(
-                index=index, config_name=config.name, status="ERROR",
+                index=index, config_name=config.name, status=status,
                 solve_time=message.get("elapsed", 0.0),
                 stats=message.get("stats"), error=message["error"]))
             continue
@@ -505,20 +605,44 @@ def _winning_result(message: dict) -> SolveResult:
                        stats=stats, core=message.get("core"))
 
 
+def _all_workers_failed(configs: list[SolverConfig],
+                        messages: dict[int, dict]) -> bool:
+    return len(messages) == len(configs) and bool(messages) and \
+        all(message["kind"] == "error" for message in messages.values())
+
+
 def _raise_if_all_workers_failed(configs: list[SolverConfig],
                                  messages: dict[int, dict]) -> None:
     """An all-ERROR worker set is a failure, not an UNKNOWN verdict.
 
     UNKNOWN must stay reserved for budget/deadline exhaustion; if every
-    single worker crashed the caller needs to know (a systematic solver or
-    pickling bug), so the run raises with the collected errors.
+    single worker crashed (and the sequential last resort crashed too, or
+    was disabled) the caller needs to know — a systematic solver or
+    pickling bug — so the run raises with the collected errors.
     """
-    if len(messages) == len(configs) and messages and \
-            all(message["kind"] == "error" for message in messages.values()):
+    if _all_workers_failed(configs, messages):
         details = "; ".join(
             f"{configs[index].name}: {messages[index]['error']}"
             for index in sorted(messages))
         raise SolverError(f"every portfolio worker failed: {details}")
+
+
+def _last_resort_message(worker, index: int, args: tuple) -> dict | None:
+    """The bottom rung of the degradation ladder: one in-process solve.
+
+    Used when every multiprocess worker was lost (all crashed, or the host
+    refused every spawn): run a single worker body inline — no fork, so
+    nothing left to die — and return its message.  Counted on
+    ``resilience.fallbacks``.
+    """
+    tracer = get_tracer()
+    tracer.metrics.counter("resilience.fallbacks").inc()
+    tracer.event("sequential_fallback")
+    logger.warning("every portfolio worker was lost; degrading to one "
+                   "in-process sequential solve")
+    inline = _InlineQueue()
+    worker(index, *args, inline, trace_path=None)
+    return inline.messages[0] if inline.messages else None
 
 
 def _worker_trace_paths(tracer, count: int):
@@ -552,13 +676,20 @@ def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
                     seed: int = 0, time_limit: float | None = None,
                     max_conflicts: int | None = None,
                     max_decisions: int | None = None,
-                    assumptions: list[int] | None = None) -> PortfolioResult:
+                    assumptions: list[int] | None = None,
+                    sequential_fallback: bool = True) -> PortfolioResult:
     """Race diversified solver configurations on ``cnf``; first verdict wins.
 
     ``configs`` overrides the generated diversification (its length then
     sets the worker count).  With one worker the solve runs in-process —
     no fork, identical semantics.  ``UNKNOWN`` is only returned when every
     worker exhausted its budget (or the safety deadline killed the race).
+
+    Dead workers only shrink the race: crashed or unspawnable workers are
+    reported (``ERROR``/``SPAWN_FAILED``) while the survivors decide.  When
+    *all* multiprocess workers are lost and ``sequential_fallback`` is on,
+    one in-process sequential solve runs as the last resort; with the
+    fallback off (or also failing) the run raises :class:`SolverError`.
     """
     if configs is None:
         configs = diversified_configs(num_workers, base=base_config, seed=seed)
@@ -595,18 +726,37 @@ def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
                           trace_paths[index]),
                     daemon=False)
                     for index, config in enumerate(configs)]
-                # start() runs inside the try so that a failed spawn — or a
-                # caller's hard-timeout alarm firing in the start window —
-                # still terminates the workers already running.
+                # start() runs inside the try so that a caller's
+                # hard-timeout alarm firing in the start window still
+                # terminates the workers already running.
                 try:
-                    for proc in procs:
-                        proc.start()
-                    messages, winner = _collect(procs, queue, decisive,
-                                                time_limit)
+                    started, spawn_failed = _start_workers(procs)
+                    if started:
+                        messages, winner = _collect(procs, queue, decisive,
+                                                    time_limit,
+                                                    pending=set(started))
+                    else:
+                        messages, winner = {}, None
+                    messages.update(spawn_failed)
                 finally:
                     _shutdown(procs, queue)
         finally:
             _absorb_worker_traces(tracer, span, trace_dir, trace_paths)
+
+        if winner is None and sequential_fallback and len(configs) > 1 \
+                and _all_workers_failed(configs, messages):
+            fallback_config = replace(
+                configs[0], name=f"{configs[0].name}+seq-fallback")
+            configs = configs + [fallback_config]
+            fallback_index = len(configs) - 1
+            message = _last_resort_message(
+                _race_worker, fallback_index,
+                (cnf, fallback_config, time_limit, max_conflicts,
+                 max_decisions, assumptions))
+            if message is not None:
+                messages[fallback_index] = message
+                if decisive(message):
+                    winner = message
 
         wall_time = time.perf_counter() - start
         winner_index = winner["index"] if winner else None
@@ -635,7 +785,8 @@ def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
                            max_conflicts: int | None = None,
                            max_decisions: int | None = None,
                            assumptions: list[int] | None = None,
-                           variables: list[int] | None = None) -> PortfolioResult:
+                           variables: list[int] | None = None,
+                           sequential_fallback: bool = True) -> PortfolioResult:
     """Split ``cnf`` into ``2**cube_depth`` cubes and conquer them in parallel.
 
     Each worker conquers its round-robin share of the cubes on one
@@ -651,6 +802,11 @@ def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
     knowledge — e.g. the primary-input variables of a circuit encoding,
     which decompose the circuit into constant-propagated slices — pass it
     directly and ``cube_depth``/``heuristic`` only cap the list length.
+
+    Worker loss degrades like :func:`solve_portfolio`: when every
+    multiprocess worker is gone and ``sequential_fallback`` is on, the run
+    drops to one in-process *unsplit* solve (the conflict/decision budgets,
+    per-cube until then, then bound that single solve).
     """
     if cube_depth < 1:
         raise SolverError("cube_depth must be at least 1 "
@@ -706,14 +862,36 @@ def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
                     for index in range(num_workers)]
                 # start() inside the try: see solve_portfolio.
                 try:
-                    for proc in procs:
-                        proc.start()
-                    messages, winner = _collect(procs, queue, decisive,
-                                                time_limit)
+                    started, spawn_failed = _start_workers(procs)
+                    if started:
+                        messages, winner = _collect(procs, queue, decisive,
+                                                    time_limit,
+                                                    pending=set(started))
+                    else:
+                        messages, winner = {}, None
+                    messages.update(spawn_failed)
                 finally:
                     _shutdown(procs, queue)
         finally:
             _absorb_worker_traces(tracer, span, trace_dir, trace_paths)
+
+        if winner is None and sequential_fallback and num_workers > 1 \
+                and _all_workers_failed(configs, messages):
+            # The cube partition is unrecoverable without its workers;
+            # degrade to one unsplit in-process solve.
+            fallback_config = replace(
+                configs[0], name=f"{configs[0].name}+seq-fallback")
+            configs = configs + [fallback_config]
+            fallback_index = len(configs) - 1
+            message = _last_resort_message(
+                _race_worker, fallback_index,
+                (cnf, fallback_config, time_limit, max_conflicts,
+                 max_decisions, assumptions))
+            if message is not None:
+                messages[fallback_index] = message
+                if message["kind"] == "result" \
+                        and message["status"] in ("SAT", "UNSAT"):
+                    winner = message
 
         wall_time = time.perf_counter() - start
         winner_index = winner["index"] if winner else None

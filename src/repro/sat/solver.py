@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass
 
 from repro.cnf.cnf import Cnf
-from repro.errors import SolverError
+from repro.errors import ResourceLimitExceeded, SolverError
 from repro.sat.configs import SolverConfig
 from repro.sat.heap import VarOrderHeap
 from repro.sat.stats import ProgressSnapshot, SolverStats
@@ -63,7 +63,8 @@ class SolveResult:
     UNSAT regardless of the assumptions.
     """
 
-    status: str                      # "SAT", "UNSAT" or "UNKNOWN"
+    status: str                      # "SAT", "UNSAT", "UNKNOWN",
+                                     # "MEMOUT" or "TIMEOUT" (watchdog trips)
     model: dict[int, bool] | None    # DIMACS variable -> value (SAT only)
     stats: SolverStats
     core: list[int] | None = None    # failed assumption subset (UNSAT only)
@@ -740,7 +741,17 @@ class CdclSolver:
                     if stats.conflicts >= self._next_progress:
                         self._next_progress = (stats.conflicts
                                                + self._progress_interval)
-                        self._emit_progress(start_time, conflicts_start)
+                        try:
+                            self._emit_progress(start_time, conflicts_start)
+                        except ResourceLimitExceeded as trip:
+                            # A resource watchdog hooked on the progress
+                            # callback tripped: stop cleanly with the
+                            # watchdog's terminal status (MEMOUT/TIMEOUT)
+                            # instead of propagating through the caller.
+                            stats.solve_time = (time.perf_counter()
+                                                - start_time)
+                            return SolveResult(status=trip.status,
+                                               model=None, stats=stats)
                 if max_conflicts is not None and \
                         stats.conflicts - conflicts_start >= max_conflicts:
                     stats.solve_time = time.perf_counter() - start_time

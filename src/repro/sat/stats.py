@@ -31,6 +31,9 @@ class SolverStats:
     learned_db_size: int = 0
     peak_trail: int = 0
     solve_time: float = 0.0
+    #: Times the resilience layer degraded to a fallback solver to produce
+    #: this result (0 on the healthy path; see repro.sat.backends).
+    fallbacks: int = 0
 
     @property
     def propagations_per_conflict(self) -> float:

@@ -1,0 +1,24 @@
+"""Shared fixtures of the resilience suite: conflict-heavy instances.
+
+Fault-injection points keyed on solver progress (watchdog samples, chaos
+kill thresholds) only fire while the solver is actually in conflict; a
+formula solved in a handful of conflicts never reaches them.  The
+pigeonhole family is the canonical dense-conflict UNSAT workload:
+``pigeonhole_cnf(6)`` burns ~750 conflicts in well under a second, and
+``pigeonhole_cnf(7)`` ~5000 conflicts in about a second — long enough for
+cross-process races to land deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.benchgen.random_logic import pigeonhole_cnf
+
+
+def hard_cnf():
+    """UNSAT with enough conflicts to cross every sampling interval."""
+    return pigeonhole_cnf(6)
+
+
+def harder_cnf():
+    """UNSAT taking ~1 s to solve — for races against worker deaths."""
+    return pigeonhole_cnf(7)

@@ -1,0 +1,134 @@
+"""Tests for backend degradation: FallbackBackend and worker shedding."""
+
+import pytest
+
+from repro.cnf import parse_dimacs
+from repro.errors import BackendError, BackendUnavailableError
+from repro.resilience import RetryPolicy, Supervisor
+from repro.resilience.chaos import use_chaos
+from repro.sat.backends import (
+    FallbackBackend,
+    InternalBackend,
+    SubprocessBackend,
+    ensure_available,
+)
+
+
+def tiny_cnf():
+    return parse_dimacs("p cnf 3 3\n1 2 0\n-1 3 0\n2 3 0\n")
+
+
+class FlakyBackend:
+    """A scriptable primary: raises the queued errors, then solves."""
+
+    name = "flaky"
+
+    def __init__(self, errors):
+        self.errors = list(errors)
+        self.calls = 0
+
+    def available(self):
+        return True
+
+    def solve(self, cnf, **kwargs):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return InternalBackend().solve(cnf, **kwargs)
+
+
+def quiet_supervisor(max_attempts=3):
+    return Supervisor(RetryPolicy(max_attempts=max_attempts,
+                                  backoff_base=0.001, jitter=0.0),
+                      sleep=lambda _: None)
+
+
+class TestFallbackBackend:
+    def test_healthy_primary_is_untouched(self):
+        primary = FlakyBackend([])
+        backend = FallbackBackend(primary, fallback=InternalBackend())
+        result = backend.solve(tiny_cnf())
+        assert result.status == "SAT"
+        assert backend.fallbacks == 0
+        assert result.stats.fallbacks == 0
+
+    def test_transient_failure_retried_then_primary_wins(self):
+        primary = FlakyBackend([BackendError("crashed once")])
+        backend = FallbackBackend(primary, fallback=InternalBackend(),
+                                  supervisor=quiet_supervisor())
+        result = backend.solve(tiny_cnf())
+        assert result.status == "SAT"
+        assert primary.calls == 2
+        assert backend.fallbacks == 0
+
+    def test_exhausted_retries_degrade_to_fallback(self):
+        primary = FlakyBackend([BackendError("crash")] * 10)
+        backend = FallbackBackend(primary, fallback=InternalBackend(),
+                                  supervisor=quiet_supervisor(max_attempts=2))
+        result = backend.solve(tiny_cnf())
+        assert result.status == "SAT"
+        assert backend.fallbacks == 1
+        assert result.stats.fallbacks == 1     # visible in stored stats
+        assert backend.events                  # CLI warning material
+
+    def test_permanent_failure_degrades_immediately(self):
+        primary = FlakyBackend([BackendUnavailableError("no binary")])
+        backend = FallbackBackend(primary, fallback=InternalBackend(),
+                                  supervisor=quiet_supervisor())
+        result = backend.solve(tiny_cnf())
+        assert result.status == "SAT"
+        assert primary.calls == 1              # no pointless retries
+        assert backend.fallbacks == 1
+
+    def test_without_fallback_the_error_propagates(self):
+        primary = FlakyBackend([BackendError("crash")] * 10)
+        backend = FallbackBackend(primary,
+                                  supervisor=quiet_supervisor(max_attempts=2))
+        with pytest.raises(BackendError):
+            backend.solve(tiny_cnf())
+
+    def test_name_mirrors_primary(self):
+        backend = FallbackBackend(FlakyBackend([]), fallback=InternalBackend())
+        assert backend.name == "flaky"
+
+    def test_ensure_available_accepts_reachable_fallback(self):
+        missing = SubprocessBackend("definitely-not-a-solver-7f3a")
+        backend = FallbackBackend(missing, fallback=InternalBackend())
+        assert backend.available()
+        ensure_available(backend)              # must not raise
+
+    def test_ensure_available_rejects_when_both_missing(self):
+        missing = SubprocessBackend("definitely-not-a-solver-7f3a")
+        backend = FallbackBackend(missing)
+        with pytest.raises(BackendUnavailableError):
+            ensure_available(backend)
+
+
+class TestChaosBackendFaults:
+    def test_injected_missing_binary_falls_back(self):
+        # The chaos hook fires inside SubprocessBackend._solve, after the
+        # availability probe — modelling a binary that vanishes mid-run.
+        primary = InternalBackend()
+        with use_chaos("backend_missing=1"):
+            backend = FallbackBackend(
+                _ChaosSpawnBackend(), fallback=primary,
+                supervisor=quiet_supervisor(max_attempts=2))
+            result = backend.solve(tiny_cnf())
+        assert result.status == "SAT"
+        assert backend.fallbacks == 1
+
+
+class _ChaosSpawnBackend:
+    """Primary whose solve consults the chaos spawn hook, like the real
+    subprocess backend does."""
+
+    name = "chaos-spawn"
+
+    def available(self):
+        return True
+
+    def solve(self, cnf, **kwargs):
+        from repro.resilience.chaos import get_chaos
+
+        get_chaos().on_backend_spawn(self.name)
+        return InternalBackend().solve(cnf, **kwargs)

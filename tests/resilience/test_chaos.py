@@ -1,0 +1,118 @@
+"""Tests for the chaos harness itself (repro.resilience.chaos)."""
+
+import pytest
+
+from repro.errors import BackendUnavailableError
+from repro.resilience.chaos import (
+    CHAOS_ENV,
+    NULL_CHAOS,
+    ChaosMonkey,
+    ChaosSpec,
+    format_spec,
+    get_chaos,
+    parse_spec,
+    use_chaos,
+)
+
+
+class TestSpecParsing:
+    def test_round_trip(self):
+        spec = ChaosSpec(kill_workers=(0, 2), kill_after_conflicts=50,
+                         kill_task="ph6", store_errors=2,
+                         backend_garbage=True, delay_s=0.05,
+                         flags_dir="/tmp/flags", seed=3)
+        assert parse_spec(format_spec(spec)) == spec
+
+    def test_kill_worker_syntax(self):
+        spec = parse_spec("kill_worker=1|3@25")
+        assert spec.kill_workers == (1, 3)
+        assert spec.kill_after_conflicts == 25
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec("explode=yes")
+
+    def test_empty_spec(self):
+        assert parse_spec("") == ChaosSpec()
+
+
+class TestInjectionPoints:
+    def test_fail_task_matches_by_substring(self):
+        monkey = ChaosMonkey("fail_task=ph6")
+        monkey.on_task_start("other-instance")  # no match, no fault
+        with pytest.raises(OSError):
+            monkey.on_task_start("suite/ph6/baseline")
+
+    def test_oom_task_raises_memory_error(self):
+        monkey = ChaosMonkey("oom_task=big")
+        with pytest.raises(MemoryError):
+            monkey.on_task_start("big-instance")
+
+    def test_store_errors_count_down(self):
+        monkey = ChaosMonkey("store_errors=2")
+        with pytest.raises(OSError):
+            monkey.on_store_append("store.jsonl")
+        with pytest.raises(OSError):
+            monkey.on_store_append("store.jsonl")
+        monkey.on_store_append("store.jsonl")  # third append succeeds
+
+    def test_backend_missing(self):
+        monkey = ChaosMonkey("backend_missing=1")
+        with pytest.raises(BackendUnavailableError):
+            monkey.on_backend_spawn("kissat")
+
+    def test_backend_garbage_mangles_output(self):
+        monkey = ChaosMonkey("backend_garbage=1")
+        mangled = monkey.mangle_backend_output("kissat", "s SATISFIABLE\n")
+        assert "SATISFIABLE" not in mangled
+
+    def test_progress_killer_only_for_selected_workers(self):
+        monkey = ChaosMonkey("kill_worker=1@50")
+        assert monkey.progress_killer(0) is None
+        assert callable(monkey.progress_killer(1))
+
+
+class TestOneShotFlags:
+    def test_fault_fires_once_with_flags_dir(self, tmp_path):
+        monkey = ChaosMonkey(f"fail_task=ph6,flags={tmp_path}")
+        with pytest.raises(OSError):
+            monkey.on_task_start("ph6")
+        monkey.on_task_start("ph6")  # latched: the retry succeeds
+
+    def test_flags_are_cross_instance(self, tmp_path):
+        # Two monkeys sharing a flags dir model two processes sharing it.
+        first = ChaosMonkey(f"fail_task=ph6,flags={tmp_path}")
+        second = ChaosMonkey(f"fail_task=ph6,flags={tmp_path}")
+        with pytest.raises(OSError):
+            first.on_task_start("ph6")
+        second.on_task_start("ph6")
+
+
+class TestActivation:
+    def test_default_is_null(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert get_chaos() is NULL_CHAOS
+
+    def test_env_spec_is_parsed_and_cached(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "store_errors=1")
+        monkey = get_chaos()
+        assert monkey.spec.store_errors == 1
+        # Same spec text returns the same instance, preserving counters.
+        assert get_chaos() is monkey
+
+    def test_malformed_env_spec_degrades_to_null(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "bogus_key=1")
+        assert not get_chaos().enabled
+
+    def test_use_chaos_wins_over_env_and_restores(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "store_errors=1")
+        with use_chaos("delay=0.5") as monkey:
+            assert get_chaos() is monkey
+        assert get_chaos().spec.store_errors == 1
+
+    def test_null_chaos_hooks_are_noops(self):
+        NULL_CHAOS.on_task_start("x")
+        NULL_CHAOS.on_store_append("p")
+        NULL_CHAOS.on_backend_spawn("b")
+        assert NULL_CHAOS.progress_killer(0) is None
+        assert NULL_CHAOS.mangle_backend_output("b", "out") == "out"

@@ -1,0 +1,98 @@
+"""CLI surface of the resilience layer: flags, warnings, JSON block."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cnf import parse_dimacs, write_dimacs_file
+from repro.runner.cli import main as runner_main
+
+
+@pytest.fixture
+def sat_cnf_file(tmp_path):
+    cnf = parse_dimacs("p cnf 3 3\n1 2 0\n-1 3 0\n2 3 0\n")
+    return str(write_dimacs_file(cnf, tmp_path / "sat.cnf"))
+
+
+class TestSolveFlags:
+    def test_mem_limit_announced_and_in_json(self, sat_cnf_file, tmp_path,
+                                             capsys):
+        report = tmp_path / "report.json"
+        code = main(["solve", sat_cnf_file, "--mem-limit", "4096",
+                     "--json", str(report)])
+        assert code == 10
+        assert "memory ceiling 4096 MB" in capsys.readouterr().out
+        payload = json.loads(report.read_text())
+        assert payload["resilience"]["mem_limit_mb"] == 4096
+        assert payload["resilience"]["memout"] is False
+
+    def test_resilience_block_always_present(self, sat_cnf_file, tmp_path):
+        report = tmp_path / "report.json"
+        assert main(["solve", sat_cnf_file, "--json", str(report)]) == 10
+        resilience = json.loads(report.read_text())["resilience"]
+        assert resilience == {"retries": 0, "fallbacks": 0,
+                              "fallback_events": [], "mem_limit_mb": None,
+                              "memout": False}
+
+    def test_fallback_from_missing_binary_warns_and_solves(self, sat_cnf_file,
+                                                           tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = main(["solve", sat_cnf_file, "--backend", "kissat",
+                     "--solver-binary", "/nonexistent/kissat",
+                     "--fallback", "--json", str(report)])
+        out = capsys.readouterr().out
+        assert code == 10                          # the fallback solved it
+        assert "WARNING" in out and "degraded" in out
+        payload = json.loads(report.read_text())
+        assert payload["resilience"]["fallbacks"] == 1
+        assert payload["resilience"]["fallback_events"]
+        assert payload["stats"]["fallbacks"] == 1
+
+    def test_missing_binary_without_fallback_still_fails(self, sat_cnf_file,
+                                                         capsys):
+        code = main(["solve", sat_cnf_file, "--backend", "kissat",
+                     "--solver-binary", "/nonexistent/kissat"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_retries_fallback_rejected_for_portfolio(self, sat_cnf_file,
+                                                     capsys):
+        code = main(["solve", sat_cnf_file, "--portfolio", "2",
+                     "--retries", "2"])
+        assert code == 1
+        assert "--retries/--fallback" in capsys.readouterr().err
+
+    def test_memout_exit_code_is_zero(self, tmp_path, capsys):
+        from repro.benchgen.random_logic import pigeonhole_cnf
+
+        path = tmp_path / "ph6.cnf"
+        write_dimacs_file(pigeonhole_cnf(6), path)
+        report = tmp_path / "report.json"
+        # A ceiling below any real interpreter's footprint trips at the
+        # first watchdog sample.
+        code = main(["solve", str(path), "--mem-limit", "0.001",
+                     "--json", str(report)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s UNKNOWN" in out
+        assert "MEMOUT" in out
+        payload = json.loads(report.read_text())
+        assert payload["status"] == "MEMOUT"
+        assert payload["resilience"]["memout"] is True
+
+
+class TestRunnerFlags:
+    def test_retries_and_mem_limit_accepted(self, tmp_path, capsys):
+        code = runner_main(["--suite", "test", "--size", "2",
+                            "--pipelines", "Baseline",
+                            "--retries", "2", "--mem-limit", "4096",
+                            "--store", str(tmp_path / "store.jsonl")])
+        assert code == 0
+        assert "solved" in capsys.readouterr().out
+
+    def test_retries_zero_disables_supervision(self, tmp_path):
+        code = runner_main(["--suite", "test", "--size", "1",
+                            "--pipelines", "Baseline", "--retries", "0",
+                            "--store", str(tmp_path / "store.jsonl")])
+        assert code == 0

@@ -1,0 +1,70 @@
+"""Chaos tests for the parallel portfolio: dead workers, degraded verdicts.
+
+The heavyweight races live behind the ``chaos`` marker (run with
+``pytest -m chaos``): each one forks a real portfolio, SIGKILLs workers
+mid-search through the ``REPRO_CHAOS`` environment variable and asserts
+the verdict still lands.  A fast smoke stays in tier-1.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.resilience.chaos import CHAOS_ENV
+from repro.sat.configs import kissat_like
+from repro.sat.portfolio import solve_portfolio
+
+from tests.resilience.helpers import hard_cnf, harder_cnf
+
+_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
+
+needs_fork = pytest.mark.skipif(
+    not _FORK, reason="portfolio chaos tests need the fork start method")
+
+
+@needs_fork
+class TestWorkerDeath:
+    def test_survivors_return_the_verdict(self, monkeypatch):
+        """Tier-1 smoke: one of two workers dies; the race still concludes.
+
+        The instance must outlive the kill threshold by a wide margin, or
+        the survivor can win before the victim's death is even noticed."""
+        monkeypatch.setenv(CHAOS_ENV, "kill_worker=0@50")
+        result = solve_portfolio(harder_cnf(), num_workers=2,
+                                 base_config=kissat_like())
+        assert result.result.status == "UNSAT"
+        dead = [w for w in result.workers if w.status == "ERROR"]
+        assert len(dead) == 1 and dead[0].index == 0
+        assert "died" in dead[0].error
+
+    @pytest.mark.chaos
+    def test_half_killed_portfolio_still_decides(self, monkeypatch):
+        """The acceptance scenario: half the workers are SIGKILLed
+        mid-search and the portfolio still returns the correct verdict."""
+        monkeypatch.setenv(CHAOS_ENV, "kill_worker=0|1@50")
+        result = solve_portfolio(harder_cnf(), num_workers=4,
+                                 base_config=kissat_like())
+        assert result.result.status == "UNSAT"
+        statuses = {w.index: w.status for w in result.workers}
+        assert statuses[0] == "ERROR" and statuses[1] == "ERROR"
+
+    @pytest.mark.chaos
+    def test_all_workers_dead_degrades_to_sequential(self, monkeypatch):
+        """Last rung of the ladder: every worker lost, one in-process
+        sequential solve still produces the verdict."""
+        monkeypatch.setenv(CHAOS_ENV, "kill_worker=0|1@50")
+        result = solve_portfolio(hard_cnf(), num_workers=2,
+                                 base_config=kissat_like())
+        assert result.result.status == "UNSAT"
+        assert result.winner is not None
+        assert result.winner.endswith("+seq-fallback")
+
+    @pytest.mark.chaos
+    def test_sequential_fallback_can_be_disabled(self, monkeypatch):
+        from repro.errors import SolverError
+
+        monkeypatch.setenv(CHAOS_ENV, "kill_worker=0|1@50")
+        with pytest.raises(SolverError):
+            solve_portfolio(hard_cnf(), num_workers=2,
+                            base_config=kissat_like(),
+                            sequential_fallback=False)

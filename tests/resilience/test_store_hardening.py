@@ -1,0 +1,112 @@
+"""Crash/corruption hardening tests for the JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.core.results import InstanceRun
+from repro.resilience.chaos import use_chaos
+from repro.runner.store import ResultStore, run_to_record
+from repro.runner.task import SCHEMA_VERSION
+from repro.sat.stats import SolverStats
+
+
+def make_run(name="inst", status="SAT"):
+    return InstanceRun(instance_name=name, pipeline_name="Baseline",
+                       status=status, transform_time=0.1, solve_time=0.2,
+                       stats=SolverStats(), num_vars=3, num_clauses=2)
+
+
+def record_line(fingerprint, name="inst"):
+    record = run_to_record(make_run(name), fingerprint)
+    return json.dumps(record, sort_keys=True)
+
+
+class TestCorruptionRecovery:
+    def test_torn_first_line_keeps_the_rest(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"schema": ' + "\n"          # torn very first line
+                        + record_line("aaa") + "\n"
+                        + record_line("bbb", "other") + "\n")
+        store = ResultStore(path)
+        assert len(store) == 2
+        assert "aaa" in store and "bbb" in store
+        assert store.skipped_lines == 1
+        assert store.quarantined == 1
+
+    def test_torn_tail_line(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(record_line("aaa") + "\n"
+                        + record_line("bbb")[:40])    # killed mid-append
+        store = ResultStore(path)
+        assert len(store) == 1
+        assert store.skipped_lines == 1
+
+    def test_partial_record_glued_to_complete_one(self, tmp_path):
+        # The signature of an unlocked concurrent append: writer A's torn
+        # prefix with writer B's whole record appended on the same line.
+        path = tmp_path / "store.jsonl"
+        glued = record_line("aaa")[:25] + record_line("bbb", "other")
+        path.write_text(glued + "\n")
+        store = ResultStore(path)
+        assert "bbb" in store                # the intact record is recovered
+        assert "aaa" not in store
+        assert store.quarantined == 1        # the torn prefix is not lost
+
+    def test_fragments_land_in_corrupt_sidecar(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text("this is not json at all\n" + record_line("aaa") + "\n")
+        store = ResultStore(path)
+        assert store.quarantine_path.exists()
+        assert "not json" in store.quarantine_path.read_text()
+
+    def test_wrong_schema_skipped_but_not_quarantined(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        old = json.dumps({"schema": "ancient", "task": "aaa"})
+        path.write_text(old + "\n" + record_line("bbb") + "\n")
+        store = ResultStore(path)
+        assert len(store) == 1
+        assert store.skipped_lines == 1
+        assert store.quarantined == 0        # valid JSON: old, not corrupt
+        assert not store.quarantine_path.exists()
+
+    def test_empty_lines_ignored(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text("\n\n" + record_line("aaa") + "\n\n")
+        store = ResultStore(path)
+        assert len(store) == 1
+        assert store.skipped_lines == 0
+
+
+class TestConcurrentWriters:
+    def test_two_handles_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        first = ResultStore(path)
+        second = ResultStore(path)
+        first.put("aaa", make_run("a"))
+        second.put("bbb", make_run("b"))
+        first.put("ccc", make_run("c"))
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 3
+        assert reloaded.skipped_lines == 0
+
+    def test_durable_append_round_trips(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        ResultStore(path, durable=True).put("aaa", make_run())
+        assert "aaa" in ResultStore(path)
+
+
+class TestChaosInjection:
+    def test_injected_append_failure_raises_before_writing(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        with use_chaos("store_errors=1"):
+            with pytest.raises(OSError):
+                store.put("aaa", make_run())
+            store.put("bbb", make_run())     # next append is healthy
+        assert not ResultStore(path).__contains__("aaa")
+        assert "bbb" in ResultStore(path)
+
+    def test_schema_guard(self):
+        record = run_to_record(make_run(), "fp")
+        assert record["schema"] == SCHEMA_VERSION

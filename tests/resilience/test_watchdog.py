@@ -1,0 +1,93 @@
+"""Tests for resource watchdogs (repro.resilience.watchdog)."""
+
+import pytest
+
+from repro.errors import ResourceLimitExceeded
+from repro.resilience import (
+    Watchdog,
+    current_rss_mb,
+    get_watchdog,
+    install_worker_limits,
+    set_watchdog,
+    use_watchdog,
+)
+from repro.sat.backends import InternalBackend
+from repro.sat.solver import solve_cnf
+from tests.resilience.helpers import hard_cnf
+
+
+class TestRssProbe:
+    def test_reports_a_plausible_resident_size(self):
+        rss = current_rss_mb()
+        # A running CPython interpreter needs at least a few MiB; anything
+        # enormous means a unit slip (KiB/bytes confusion).
+        assert 1.0 < rss < 1 << 20
+
+
+class TestWatchdog:
+    def test_requires_at_least_one_limit(self):
+        with pytest.raises(ValueError):
+            Watchdog()
+
+    def test_memory_trip_is_memout(self):
+        watchdog = Watchdog(mem_limit_mb=100, rss_fn=lambda: 101.0)
+        with pytest.raises(ResourceLimitExceeded) as excinfo:
+            watchdog.check()
+        assert excinfo.value.status == "MEMOUT"
+
+    def test_under_the_ceiling_is_quiet(self):
+        Watchdog(mem_limit_mb=100, rss_fn=lambda: 99.0).check()
+
+    def test_deadline_trip_is_timeout(self):
+        now = [0.0]
+        watchdog = Watchdog(deadline_s=5.0, clock=lambda: now[0])
+        watchdog.check()
+        now[0] = 5.1
+        with pytest.raises(ResourceLimitExceeded) as excinfo:
+            watchdog.check()
+        assert excinfo.value.status == "TIMEOUT"
+
+    def test_hook_matches_progress_callback_shape(self):
+        watchdog = Watchdog(mem_limit_mb=100, rss_fn=lambda: 50.0)
+        watchdog.hook(object())  # snapshot is ignored
+        watchdog.hook()
+
+    def test_use_watchdog_restores_previous(self):
+        outer = Watchdog(mem_limit_mb=1)
+        previous = set_watchdog(outer)
+        try:
+            with use_watchdog(Watchdog(mem_limit_mb=2)) as inner:
+                assert get_watchdog() is inner
+            assert get_watchdog() is outer
+        finally:
+            set_watchdog(previous)
+
+    def test_install_worker_limits_noop_without_limit(self):
+        previous = set_watchdog(None)
+        try:
+            install_worker_limits(None)
+            assert get_watchdog() is None
+            install_worker_limits(0)
+            assert get_watchdog() is None
+        finally:
+            set_watchdog(previous)
+
+
+class TestSolverIntegration:
+    def test_solver_converts_memory_trip_to_memout_result(self):
+        # An absurdly low ceiling trips at the first progress sample; the
+        # solver must return a clean MEMOUT, not raise.
+        with use_watchdog(Watchdog(mem_limit_mb=0.001)):
+            result = InternalBackend().solve(hard_cnf())
+        assert result.status == "MEMOUT"
+        assert result.model is None
+
+    def test_solver_converts_deadline_trip_to_timeout_result(self):
+        with use_watchdog(Watchdog(deadline_s=0.0)):
+            result = InternalBackend().solve(hard_cnf())
+        assert result.status == "TIMEOUT"
+
+    def test_no_watchdog_no_interference(self):
+        assert get_watchdog() is None
+        result = solve_cnf(hard_cnf())
+        assert result.status == "UNSAT"
