@@ -203,7 +203,16 @@ def cmd_solve(args: argparse.Namespace) -> int:
     # --portfolio/--cube-depth fold into the portfolio backend; the shared
     # helper owns the validation rules for both this CLI and the runner's.
     backend_name, backend_kwargs = fold_portfolio_flags(
-        args.backend, args.portfolio, args.cube_depth)
+        args.backend, args.portfolio, args.cube_depth, args.share_clauses)
+    if args.proof is not None and backend_name not in ("internal",
+                                                       "portfolio") \
+            and not backend_kwargs and not args.fallback:
+        # External binaries cannot feed the built-in checker; fail before
+        # the (potentially long) preprocessing pipeline, not after.
+        raise CliError(
+            f"--proof needs the internal solver ({args.backend!r} cannot "
+            f"emit a checkable DRAT proof); drop --backend, use "
+            f"--portfolio N, or add --fallback")
     if backend_kwargs:
         if args.solver_binary is not None:
             raise CliError(
@@ -269,7 +278,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
     if isinstance(backend, PortfolioBackend):
         mode = (f"cube-and-conquer depth {backend.cube_depth}"
                 if backend.cube_depth else "racing portfolio")
+        if backend.share_clauses:
+            mode += " with clause sharing"
         _comment(f"portfolio: {backend.num_workers} workers, {mode}", quiet)
+    if args.proof is not None:
+        _comment(f"proof: logging DRAT to {args.proof}", quiet)
 
     if args.mem_limit:
         _comment(f"memory ceiling {args.mem_limit:g} MB (soft watchdog)",
@@ -286,10 +299,12 @@ def cmd_solve(args: argparse.Namespace) -> int:
             portfolio_report = backend.solve_detailed(
                 cnf, config=config, time_limit=args.time_limit,
                 max_conflicts=args.max_conflicts,
-                max_decisions=args.max_decisions)
+                max_decisions=args.max_decisions, proof=args.proof)
             result = portfolio_report.result
         else:
             solve_kwargs = {}
+            if args.proof is not None:
+                solve_kwargs["proof"] = args.proof
             if getattr(args, "verbose", 0) and not quiet \
                     and isinstance(backend, InternalBackend):
                 # kissat-style periodic progress lines on stdout 'c' comments.
@@ -335,6 +350,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
         if portfolio_report.mode == "cube":
             _comment(f"cube split: {portfolio_report.num_cubes} cubes on "
                      f"variables {portfolio_report.cube_variables}", quiet)
+        if portfolio_report.sharing is not None:
+            counters = portfolio_report.sharing
+            _comment(f"sharing: exported {counters.get('exported', 0)} "
+                     f"imported {counters.get('imported', 0)} "
+                     f"filtered {counters.get('filtered', 0)}", quiet)
         if portfolio_report.winner is not None:
             _comment(f"winner: {portfolio_report.winner}", quiet)
 
@@ -346,6 +366,29 @@ def cmd_solve(args: argparse.Namespace) -> int:
              quiet)
     _comment(f"solve time {solve_time:.3f} s "
              f"(total {transform_time + solve_time:.3f} s)", quiet)
+
+    proof_path = None
+    if args.proof is not None:
+        if portfolio_report is not None:
+            proof_path = portfolio_report.proof
+        elif result.status == "UNSAT" and Path(args.proof).exists():
+            proof_path = args.proof
+        if proof_path is not None:
+            # The proof refutes the CNF that was actually solved (after any
+            # circuit preprocessing), so write that exact formula next to it
+            # — 'repro proof check' needs both.
+            cnf_sibling = proof_path + ".cnf"
+            write_dimacs_file(cnf, cnf_sibling, comments=[
+                "CNF refuted by the DRAT proof in "
+                + Path(proof_path).name,
+                f"source: {args.file}",
+            ])
+            _comment(f"proof: wrote {proof_path} and {cnf_sibling}; verify "
+                     f"with 'repro proof check {cnf_sibling} {proof_path}'",
+                     quiet)
+        else:
+            _comment(f"proof: no DRAT proof produced "
+                     f"(status {result.status})", quiet)
 
     status_word = {"SAT": "SATISFIABLE", "UNSAT": "UNSATISFIABLE"}.get(
         result.status, "UNKNOWN")
@@ -370,6 +413,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
             "stats": stats.as_dict(),
             "model": ({str(var): value for var, value in result.model.items()}
                       if result.is_sat and not args.no_model else None),
+            "proof": proof_path,
         }
         payload["resilience"] = {
             "retries": (supervisor.retries_granted
@@ -499,6 +543,49 @@ def cmd_trace(args: argparse.Namespace) -> int:
     write_chrome_trace(records, output)
     print(f"wrote {output}")
     return 0
+
+
+def cmd_proof(args: argparse.Namespace) -> int:
+    # Only 'check' exists today; the dest is kept so 'repro proof fuzz' or
+    # similar can slot in later without reshaping the command.
+    from repro.sat.proof import check_drat_file
+
+    kind, instance = load_input(args.cnf)
+    if kind != "cnf":
+        raise CliError(
+            f"{args.cnf} is a circuit; 'repro proof check' verifies a DRAT "
+            f"proof against the DIMACS CNF it refutes — 'solve --proof' "
+            f"writes that formula as <proof>.cnf next to the proof")
+    if not Path(args.proof_file).exists():
+        raise CliError(f"no such file: {args.proof_file}")
+
+    quiet = args.quiet
+    _comment(f"repro proof check {args.cnf} {args.proof_file}", quiet)
+    _comment(f"cnf: {instance.num_vars} variables, "
+             f"{instance.num_clauses} clauses", quiet)
+    start = time.perf_counter()
+    outcome = check_drat_file(instance, args.proof_file, check_all=args.all)
+    check_time = time.perf_counter() - start
+    _comment(f"proof: {outcome.lemmas} lemmas, {outcome.deletions} "
+             f"deletions; checked {outcome.checked} "
+             f"({'all lemmas' if args.all else 'backward core'}) "
+             f"in {check_time:.3f} s", quiet)
+    if not outcome.valid:
+        _comment(f"reason: {outcome.reason}", quiet)
+    print("s VERIFIED" if outcome.valid else "s NOT VERIFIED")
+
+    if args.json is not None:
+        _write_json({
+            "cnf": str(args.cnf),
+            "proof": str(args.proof_file),
+            "valid": outcome.valid,
+            "reason": outcome.reason,
+            "lemmas": outcome.lemmas,
+            "checked": outcome.checked,
+            "deletions": outcome.deletions,
+            "check_time": check_time,
+        }, args.json)
+    return 0 if outcome.valid else 1
 
 
 def cmd_bench(argv: list[str]) -> int:
@@ -632,6 +719,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="if the external backend fails (after any "
                             "--retries), degrade to the internal solver "
                             "instead of erroring out")
+    solve.add_argument("--share-clauses", action="store_true",
+                       help="exchange short, low-LBD learned clauses "
+                            "between --portfolio racing workers over a "
+                            "process bus (requires --portfolio N; not "
+                            "compatible with --cube-depth)")
+    solve.add_argument("--proof", default=None, metavar="FILE",
+                       help="on UNSAT, write a DRAT proof to FILE and the "
+                            "exact CNF it refutes to FILE.cnf; verify with "
+                            "'repro proof check FILE.cnf FILE' (internal "
+                            "and portfolio backends only)")
     solve.set_defaults(handler=cmd_solve)
 
     preprocess = subparsers.add_parser(
@@ -696,6 +793,35 @@ def build_parser() -> argparse.ArgumentParser:
                               help="output path (default: "
                                    "<trace stem>.chrome.json)")
     trace_export.set_defaults(handler=cmd_trace)
+
+    proof = subparsers.add_parser(
+        "proof", help="check a DRAT proof of unsatisfiability",
+        description="Work with DRAT proofs written by 'repro solve "
+                    "--proof': 'check' replays a proof backward against "
+                    "the CNF it refutes (exit code 0 = verified, 1 = not).")
+    proof_sub = proof.add_subparsers(dest="proof_command", required=True)
+    proof_check = proof_sub.add_parser(
+        "check", help="verify a DRAT proof against its CNF",
+        description="Backward-check a DRAT proof: the proof must derive "
+                    "the empty clause, and every core lemma must be RUP "
+                    "(or RAT on its first literal) at its point in the "
+                    "proof.  Exit code 0 = verified, 1 = not verified.")
+    proof_check.add_argument("cnf",
+                             help="the DIMACS CNF the proof refutes "
+                                  "('solve --proof' writes it as "
+                                  "<proof>.cnf)")
+    proof_check.add_argument("proof_file", metavar="proof",
+                             help="the DRAT proof file")
+    proof_check.add_argument("--all", action="store_true",
+                             help="verify every lemma instead of only the "
+                                  "backward core (slower, stricter)")
+    proof_check.add_argument("--json", default=None, metavar="PATH",
+                             help="also write a JSON report to PATH "
+                                  "('-' = stdout)")
+    proof_check.add_argument("-q", "--quiet", action="store_true",
+                             help="suppress the 'c' comment lines")
+    _add_obs_flags(proof_check)
+    proof_check.set_defaults(handler=cmd_proof)
 
     # ``bench`` is dispatched before parsing (argparse.REMAINDER cannot
     # forward leading options); this stub only makes it appear in --help.

@@ -128,7 +128,8 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
                  max_decisions: int | None = None,
                  pipeline_kwargs: dict | None = None,
                  backend: str | SolverBackend | None = None,
-                 backend_kwargs: dict | None = None) -> InstanceRun:
+                 backend_kwargs: dict | None = None,
+                 proof: str | None = None) -> InstanceRun:
     """Preprocess ``instance_aig`` with ``pipeline`` and solve the result.
 
     ``pipeline_kwargs`` are forwarded to the pipeline's encoder, so named
@@ -144,6 +145,11 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
     ``"portfolio"`` races diversified internal solvers across processes,
     configured through ``backend_kwargs`` (``num_workers``, ``cube_depth``,
     ...) — the options stay plain data so tasks remain picklable.
+
+    ``proof`` requests a DRAT proof of an UNSAT verdict at that path.  The
+    proof refutes the *preprocessed* CNF this call built, not the input
+    AIG; callers that want to check it must keep that CNF (the CLI writes
+    a sibling ``<proof>.cnf`` for exactly this reason).
     """
     if isinstance(pipeline, str):
         encode = PIPELINES[pipeline]
@@ -158,9 +164,15 @@ def run_pipeline(instance_aig: AIG, pipeline: str | Callable[[AIG], tuple[Cnf, f
                      instance=name) as span:
         cnf, transform_time = encode(instance_aig, **(pipeline_kwargs or {}))
         span.set(num_vars=cnf.num_vars, num_clauses=cnf.num_clauses)
+    solve_kwargs: dict = {}
+    if proof is not None:
+        # Only passed when requested, so backend instances predating the
+        # proof parameter keep working.
+        solve_kwargs["proof"] = proof
     result: SolveResult = resolve_backend(backend, **(backend_kwargs or {})).solve(
         cnf, config=config, time_limit=time_limit,
         max_conflicts=max_conflicts, max_decisions=max_decisions,
+        **solve_kwargs,
     )
     logger.info("pipeline %s on %s: %s (%.3f s transform, %.3f s solve)",
                 pipeline_name, name or "<unnamed>", result.status,

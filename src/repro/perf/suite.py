@@ -36,6 +36,8 @@ from repro.obs import Tracer, read_trace, use_tracer
 from repro.perf.bench import Benchmark
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
 from repro.sat.portfolio import solve_cube_and_conquer, solve_portfolio
+from repro.sat.proof import check_drat_file
+from repro.sat.sharing import interleaved_sharing_race
 from repro.sat.solver import CdclSolver, solve_cnf
 from repro.synthesis.cuts import enumerate_cuts
 
@@ -247,6 +249,83 @@ def _portfolio_race_batch(cnfs: list[Cnf]) -> dict[str, float]:
     }
 
 
+def _sharing_race_batch(payload: tuple[list[Cnf], Cnf]) -> dict[str, float]:
+    """Clause-sharing interleaved race vs. the best preset.
+
+    The race (:func:`repro.sat.sharing.interleaved_sharing_race`) runs the
+    same 4-config pool round-robin in 256-conflict slices on one core,
+    delivering exported clauses between turns; ``virtual_wall`` is the
+    winner's own accumulated solve time — the wall an ideally parallel run
+    would show — so the per-instance ``speedup`` (best preset's time over
+    virtual wall) is directly comparable to ``portfolio_speedup``'s racing
+    median while staying deterministic and honest on a single-core host.
+    The UNSAT commutativity miter is raced with DRAT logging on top: the
+    merged multi-worker proof must pass the backward checker
+    (``proof_valid``), and an ``unsat_speedup`` above the worker count is
+    the super-linear effect clause sharing buys on UNSAT instances, where
+    every imported conflict clause prunes all other workers' searches.
+    """
+    corner_cnfs, unsat_cnf = payload
+    pool = _portfolio_pool()
+    presets = pool[:2]
+    solo_times: dict[str, list[float]] = {config.name: [] for config in presets}
+    for cnf in corner_cnfs:
+        for config in presets:
+            start = time.perf_counter()
+            result = solve_cnf(cnf, config=config)
+            solo_times[config.name].append(time.perf_counter() - start)
+            assert result.is_sat, "corner-case miters are SAT by construction"
+    best_preset = min(solo_times, key=lambda name: sum(solo_times[name]))
+
+    totals = {"exported": 0, "imported": 0, "filtered": 0}
+    speedups = []
+    share_wall = 0.0
+    sat = 0
+    for index, cnf in enumerate(corner_cnfs):
+        race = interleaved_sharing_race(cnf, pool, slice_conflicts=256)
+        sat += race.status == "SAT"
+        share_wall += race.virtual_wall
+        speedups.append(solo_times[best_preset][index] / race.virtual_wall)
+        for key in totals:
+            totals[key] += race.sharing[key]
+
+    mono_times = []
+    for config in presets:
+        start = time.perf_counter()
+        result = solve_cnf(unsat_cnf, config=config)
+        mono_times.append(time.perf_counter() - start)
+        assert result.is_unsat, "the commutativity miter is UNSAT"
+    best_mono = min(mono_times)
+
+    handle, proof_path = tempfile.mkstemp(suffix=".drat",
+                                          prefix="repro-perf-")
+    os.close(handle)
+    try:
+        unsat_race = interleaved_sharing_race(
+            unsat_cnf, pool, slice_conflicts=256, proof=proof_path)
+        proof_valid = unsat_race.status == "UNSAT" \
+            and check_drat_file(unsat_cnf, proof_path).valid
+    finally:
+        if os.path.exists(proof_path):
+            os.unlink(proof_path)
+    for key in totals:
+        totals[key] += unsat_race.sharing[key]
+
+    return {
+        "instances": len(corner_cnfs) + 1,
+        "workers": len(pool),
+        "sat": sat,
+        "proof_valid": float(proof_valid),
+        "speedup": round(statistics.median(speedups), 3),
+        "unsat_speedup": round(best_mono / unsat_race.virtual_wall, 3),
+        "best_single_ms": sum(solo_times[best_preset]) * 1000.0,
+        "share_wall_ms": share_wall * 1000.0,
+        "exported": totals["exported"],
+        "imported": totals["imported"],
+        "filtered": totals["filtered"],
+    }
+
+
 def _cube_conquer_batch(payload: tuple[Cnf, list[int]]) -> dict[str, float]:
     """Cube-and-conquer vs. the best preset on the hard UNSAT miter.
 
@@ -382,6 +461,22 @@ def default_suite(quick: bool = False) -> list[Benchmark]:
                                                             seed))
                            for seed in corner_seeds],
             run=_portfolio_race_batch,
+        ),
+        Benchmark(
+            name="portfolio_sharing",
+            category="solver",
+            description=(f"interleaved clause-sharing race (4 configs, "
+                         f"256-conflict slices) vs. the best preset on the "
+                         f"same {len(corner_seeds)} corner-case miters plus "
+                         f"the width-{miter_width} UNSAT commutativity miter "
+                         f"with a checked merged DRAT proof; 'speedup' is "
+                         f"the median best-preset/virtual-wall ratio"),
+            setup=lambda: ([tseitin_encode(corner_case_miter(corner_width,
+                                                             seed))
+                            for seed in corner_seeds],
+                           tseitin_encode(
+                               multiplier_commutativity_miter(miter_width))),
+            run=_sharing_race_batch,
         ),
         Benchmark(
             name="cube_conquer",

@@ -139,6 +139,7 @@ def execute_task(task: Task) -> InstanceRun:
                     pipeline_kwargs=task.pipeline_kwargs,
                     backend=task.backend,
                     backend_kwargs=task.backend_kwargs,
+                    proof=task.proof,
                 )
             finally:
                 disarm()
@@ -265,6 +266,15 @@ class BatchRunner:
             cache_hits = 0
             for index, (task, fingerprint) in enumerate(zip(tasks,
                                                             fingerprints)):
+                if task.proof is not None:
+                    # Proof-bearing tasks bypass the cache on both sides: a
+                    # cached record has no proof file to offer, and the
+                    # requested side effect (a DRAT file at *this* path)
+                    # makes two otherwise-identical tasks distinct, so they
+                    # are not deduplicated either.  The synthetic key never
+                    # reaches the store (see _finish).
+                    pending[f"{fingerprint}#proof{index}"] = (index, task)
+                    continue
                 cached = self.store.get(fingerprint) \
                     if self.store is not None else None
                 if cached is not None:
@@ -464,12 +474,15 @@ class BatchRunner:
 
         ERROR runs are transient (worker crash, resource blip) and MEMOUT
         runs limit-dependent, so both stay out of the store and a resume
-        retries them.  Store appends are themselves retried; a result that
-        ultimately cannot be persisted is returned anyway — dropped from
-        the cache, never from the batch — with the failure counted on
-        ``resilience.store_errors``.
+        retries them.  Proof-bearing tasks stay out too: serving their
+        fingerprint from the cache later would yield a verdict without the
+        proof file the requester asked for.  Store appends are themselves
+        retried; a result that ultimately cannot be persisted is returned
+        anyway — dropped from the cache, never from the batch — with the
+        failure counted on ``resilience.store_errors``.
         """
-        if self.store is None or run.status in _UNCACHED_STATUSES:
+        if self.store is None or run.status in _UNCACHED_STATUSES \
+                or task.proof is not None:
             return run
         tracer = get_tracer()
         for attempt in range(1, _STORE_ATTEMPTS + 1):

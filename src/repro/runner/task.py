@@ -50,6 +50,13 @@ class Task:
     carries the backend's plain-data options (the portfolio backend's
     ``num_workers``/``cube_depth``) and participates in the fingerprint,
     since e.g. a different cube depth is a different computation.
+
+    ``proof`` requests a DRAT proof file of an UNSAT verdict (see
+    :mod:`repro.sat.proof`).  It is excluded from the fingerprint — the
+    *verdict* is the same computation with or without logging — but a
+    proof-bearing task is never served from (or written to) the result
+    cache: a cached record has no proof file to offer, so the run must
+    actually execute (see :class:`repro.runner.batch.BatchRunner`).
     """
 
     instance_name: str
@@ -62,6 +69,7 @@ class Task:
     group: str = ""
     backend: str = "internal"
     backend_kwargs: dict = field(default_factory=dict)
+    proof: str | None = None
 
     _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
@@ -72,14 +80,15 @@ class Task:
                       time_limit: float | None = None,
                       hard_timeout: float | None = None,
                       group: str = "", backend: str = "internal",
-                      backend_kwargs: dict | None = None) -> "Task":
+                      backend_kwargs: dict | None = None,
+                      proof: str | None = None) -> "Task":
         """Build a task from a generated suite instance."""
         return cls.from_aig(instance.aig, pipeline,
                             instance_name=instance.name,
                             pipeline_kwargs=pipeline_kwargs, config=config,
                             time_limit=time_limit, hard_timeout=hard_timeout,
                             group=group, backend=backend,
-                            backend_kwargs=backend_kwargs)
+                            backend_kwargs=backend_kwargs, proof=proof)
 
     @classmethod
     def from_aig(cls, aig: AIG, pipeline: str, instance_name: str = "",
@@ -88,7 +97,8 @@ class Task:
                  time_limit: float | None = None,
                  hard_timeout: float | None = None,
                  group: str = "", backend: str = "internal",
-                 backend_kwargs: dict | None = None) -> "Task":
+                 backend_kwargs: dict | None = None,
+                 proof: str | None = None) -> "Task":
         """Build a task from an in-memory AIG (serialised on the spot).
 
         Serialisation normalises the circuit: AIGER requires dense variable
@@ -109,6 +119,7 @@ class Task:
             group=group,
             backend=backend,
             backend_kwargs=dict(backend_kwargs or {}),
+            proof=proof,
         )
 
     @property
@@ -125,6 +136,9 @@ class Task:
 
         ``group`` is a pure relabelling and is excluded; ``hard_timeout`` is
         included because it can turn a slow success into a ``TIMEOUT``.
+        ``proof`` is excluded too — logging a proof does not change the
+        verdict — and the runner instead bypasses the cache entirely for
+        proof-bearing tasks.
         """
         if self._fingerprint is None:
             config_payload = None

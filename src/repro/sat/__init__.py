@@ -20,6 +20,13 @@ solver: :func:`solve_portfolio` races diversified configurations across
 processes and :func:`solve_cube_and_conquer` splits the formula into cubes
 conquered by incremental workers; ``get_backend("portfolio")`` exposes both
 behind the common backend protocol.
+
+:mod:`repro.sat.sharing` connects the portfolio workers through a clause
+bus (short, low-LBD learned clauses travel between processes), and
+:mod:`repro.sat.proof` makes every UNSAT verdict checkable: the solver logs
+a DRAT proof — merged across workers for parallel runs — that the built-in
+backward checker (:func:`check_drat_file`, ``repro proof check``) validates
+independently of any solver heuristic.
 """
 
 from repro.sat.backends import (
@@ -40,7 +47,14 @@ from repro.sat.portfolio import (
     solve_cube_and_conquer,
     solve_portfolio,
 )
-from repro.sat.solver import CdclSolver, SolveResult, solve_cnf
+from repro.sat.proof import (
+    DratWriter,
+    ProofCheckResult,
+    check_drat,
+    check_drat_file,
+)
+from repro.sat.sharing import SharingConfig, interleaved_sharing_race
+from repro.sat.solver import ClauseExportHook, CdclSolver, SolveResult, solve_cnf
 from repro.sat.stats import SolverStats
 
 __all__ = [
@@ -64,4 +78,11 @@ __all__ = [
     "get_backend",
     "resolve_backend",
     "available_backends",
+    "DratWriter",
+    "ProofCheckResult",
+    "check_drat",
+    "check_drat_file",
+    "SharingConfig",
+    "interleaved_sharing_race",
+    "ClauseExportHook",
 ]

@@ -114,9 +114,15 @@ class SolverBackend(Protocol):
               time_limit: float | None = None,
               max_conflicts: int | None = None,
               max_decisions: int | None = None,
-              assumptions: list[int] | None = None) -> SolveResult:
+              assumptions: list[int] | None = None,
+              proof: str | None = None) -> SolveResult:
         """Solve ``cnf`` — optionally under ``assumptions`` (DIMACS literals
-        held true for this call) — and return a :class:`SolveResult`."""
+        held true for this call) — and return a :class:`SolveResult`.
+
+        ``proof`` requests a DRAT proof at that path on a formula-level
+        UNSAT verdict (see :mod:`repro.sat.proof`); backends that cannot
+        produce one raise :class:`repro.errors.BackendError`.
+        """
         ...
 
 
@@ -154,6 +160,7 @@ class InternalBackend:
               max_conflicts: int | None = None,
               max_decisions: int | None = None,
               assumptions: list[int] | None = None,
+              proof: str | None = None,
               progress=None,
               progress_interval: int = DEFAULT_PROGRESS_INTERVAL) -> SolveResult:
         """Solve ``cnf`` with the built-in CDCL solver.
@@ -184,7 +191,7 @@ class InternalBackend:
                 result = solve_cnf(cnf, config=config, time_limit=time_limit,
                                    max_conflicts=max_conflicts,
                                    max_decisions=max_decisions,
-                                   assumptions=assumptions,
+                                   assumptions=assumptions, proof=proof,
                                    progress=_compose_progress(
                                        tracer, progress, watchdog),
                                    progress_interval=progress_interval)
@@ -272,7 +279,8 @@ class SubprocessBackend:
               time_limit: float | None = None,
               max_conflicts: int | None = None,
               max_decisions: int | None = None,
-              assumptions: list[int] | None = None) -> SolveResult:
+              assumptions: list[int] | None = None,
+              proof: str | None = None) -> SolveResult:
         """Run the external solver on ``cnf``.
 
         ``config``, ``max_conflicts`` and ``max_decisions`` configure the
@@ -285,7 +293,15 @@ class SubprocessBackend:
         The verdict is therefore correct, but an UNSAT result can only
         report the trivial core (all assumptions) — callers that need
         minimised cores use the internal backend.
+
+        ``proof`` is rejected: external solvers write DRAT in their own
+        formats/locations and this backend does not relocate or validate
+        them; proof-bearing runs use the internal or portfolio backend.
         """
+        if proof is not None:
+            raise BackendError(
+                f"solver backend {self.name!r} cannot emit a checkable "
+                f"DRAT proof; use the internal or portfolio backend")
         tracer = get_tracer()
         with tracer.span("solve", backend=self.name, num_vars=cnf.num_vars,
                          num_clauses=len(cnf.clauses)) as span:
@@ -430,12 +446,17 @@ class PortfolioBackend:
     suite) use :meth:`solve_detailed`, which returns the full
     :class:`repro.sat.portfolio.PortfolioResult`.  In cube mode
     ``max_conflicts``/``max_decisions`` are per-cube budgets.
+
+    ``share_clauses`` turns on clause sharing between the racing workers
+    (:mod:`repro.sat.sharing`); it does not apply to cube mode, whose
+    workers own disjoint subproblems.
     """
 
     name = "portfolio"
 
     def __init__(self, num_workers: int | None = None, cube_depth: int = 0,
-                 seed: int = 0, heuristic: str = "occurrence") -> None:
+                 seed: int = 0, heuristic: str = "occurrence",
+                 share_clauses: bool = False) -> None:
         from repro.sat.portfolio import DEFAULT_NUM_WORKERS, MAX_CUBE_DEPTH
 
         if num_workers is None:
@@ -446,10 +467,15 @@ class PortfolioBackend:
             raise BackendError(
                 f"cube_depth must lie in [0, {MAX_CUBE_DEPTH}], "
                 f"got {cube_depth}")
+        if share_clauses and cube_depth > 0:
+            raise BackendError(
+                "clause sharing applies to racing portfolios, not cube "
+                "and conquer (cube workers own disjoint subproblems)")
         self.num_workers = num_workers
         self.cube_depth = cube_depth
         self.seed = seed
         self.heuristic = heuristic
+        self.share_clauses = share_clauses
 
     def available(self) -> bool:
         return True
@@ -458,7 +484,8 @@ class PortfolioBackend:
                        time_limit: float | None = None,
                        max_conflicts: int | None = None,
                        max_decisions: int | None = None,
-                       assumptions: list[int] | None = None):
+                       assumptions: list[int] | None = None,
+                       proof: str | None = None):
         """Solve and return the full :class:`PortfolioResult`."""
         from repro.sat.portfolio import solve_cube_and_conquer, solve_portfolio
 
@@ -469,12 +496,13 @@ class PortfolioBackend:
                 num_workers=self.num_workers, config=config,
                 heuristic=self.heuristic, seed=seed, time_limit=time_limit,
                 max_conflicts=max_conflicts, max_decisions=max_decisions,
-                assumptions=assumptions)
+                assumptions=assumptions, proof=proof)
         else:
             detailed = solve_portfolio(
                 cnf, num_workers=self.num_workers, base_config=config,
                 seed=seed, time_limit=time_limit, max_conflicts=max_conflicts,
-                max_decisions=max_decisions, assumptions=assumptions)
+                max_decisions=max_decisions, assumptions=assumptions,
+                sharing=self.share_clauses, proof=proof)
         self._shed_on_spawn_failures(detailed)
         return detailed
 
@@ -504,11 +532,12 @@ class PortfolioBackend:
               time_limit: float | None = None,
               max_conflicts: int | None = None,
               max_decisions: int | None = None,
-              assumptions: list[int] | None = None) -> SolveResult:
+              assumptions: list[int] | None = None,
+              proof: str | None = None) -> SolveResult:
         return self.solve_detailed(
             cnf, config=config, time_limit=time_limit,
             max_conflicts=max_conflicts, max_decisions=max_decisions,
-            assumptions=assumptions).result
+            assumptions=assumptions, proof=proof).result
 
     def __repr__(self) -> str:
         return (f"PortfolioBackend(num_workers={self.num_workers}, "
@@ -553,14 +582,16 @@ class FallbackBackend:
               time_limit: float | None = None,
               max_conflicts: int | None = None,
               max_decisions: int | None = None,
-              assumptions: list[int] | None = None) -> SolveResult:
+              assumptions: list[int] | None = None,
+              proof: str | None = None) -> SolveResult:
         key = f"backend.{self.primary.name}"
         while True:
             try:
                 return self.primary.solve(
                     cnf, config=config, time_limit=time_limit,
                     max_conflicts=max_conflicts,
-                    max_decisions=max_decisions, assumptions=assumptions)
+                    max_decisions=max_decisions, assumptions=assumptions,
+                    proof=proof)
             except (BackendError, OSError) as error:
                 if (self.supervisor is not None and is_transient(error)
                         and self.supervisor.note_failure(key, error)):
@@ -581,7 +612,7 @@ class FallbackBackend:
         result = self.fallback.solve(
             cnf, config=config, time_limit=time_limit,
             max_conflicts=max_conflicts, max_decisions=max_decisions,
-            assumptions=assumptions)
+            assumptions=assumptions, proof=proof)
         result.stats.fallbacks += 1
         return result
 
@@ -638,19 +669,28 @@ def get_backend(name: str, binary: str | None = None,
 
 
 def fold_portfolio_flags(backend: str, num_workers: int | None,
-                         cube_depth: int | None) -> tuple[str, dict]:
-    """Fold ``--portfolio N`` / ``--cube-depth K`` into (backend, kwargs).
+                         cube_depth: int | None,
+                         share_clauses: bool = False) -> tuple[str, dict]:
+    """Fold ``--portfolio N`` / ``--cube-depth K`` / ``--share-clauses``
+    into (backend, kwargs).
 
     The single definition behind both CLIs (``repro solve`` and the runner):
-    either flag switches the backend to ``portfolio``; combining them with
-    an external backend, a non-positive worker count or an out-of-cap cube
-    depth raises :class:`BackendError` with a user-facing message.  Returns
-    plain data so runner tasks stay JSON-stable.
+    either of the first two flags switches the backend to ``portfolio``;
+    combining them with an external backend, a non-positive worker count or
+    an out-of-cap cube depth raises :class:`BackendError` with a user-facing
+    message.  ``--share-clauses`` needs racing workers: it requires
+    ``--portfolio`` (or an explicit portfolio backend) and rejects
+    ``--cube-depth``.  Returns plain data so runner tasks stay JSON-stable.
     """
     from repro.sat.portfolio import MAX_CUBE_DEPTH
 
     if num_workers is None and cube_depth is None:
-        return backend, {}
+        if share_clauses and backend != PORTFOLIO_NAME:
+            raise BackendError(
+                "--share-clauses needs racing workers; combine it with "
+                "--portfolio N")
+        if not share_clauses:
+            return backend, {}
     if backend not in INTERNAL_NAMES + (PORTFOLIO_NAME,):
         raise BackendError(
             f"--portfolio/--cube-depth race the internal solver and cannot "
@@ -665,6 +705,12 @@ def fold_portfolio_flags(backend: str, num_workers: int | None,
             raise BackendError(
                 f"--cube-depth must lie in [1, {MAX_CUBE_DEPTH}]")
         backend_kwargs["cube_depth"] = cube_depth
+    if share_clauses:
+        if cube_depth is not None:
+            raise BackendError(
+                "--share-clauses applies to racing portfolios and cannot "
+                "be combined with --cube-depth")
+        backend_kwargs["share_clauses"] = True
     return PORTFOLIO_NAME, backend_kwargs
 
 

@@ -38,6 +38,14 @@ terminated and joined before the call returns (also on errors and timeouts),
 so portfolio solving composes with the batch runner's per-task hard
 timeouts without leaking processes.
 
+Racing workers can additionally *share* learned clauses
+(``sharing=True``/:class:`repro.sat.sharing.SharingConfig`): the parent
+pumps a :class:`repro.sat.sharing.ClauseBus` while it polls for results.
+Both modes can emit a checkable DRAT proof (``proof=PATH``): each worker
+logs a Lamport-stamped lemma stream (:mod:`repro.sat.proof`) and the parent
+merges the streams on a formula-level UNSAT verdict — including the
+all-cubes-UNSAT case, which is closed with prefix-tree glue lemmas.
+
 Worker death is a routine event, not a failure mode: a race with K dead
 workers still returns the first decisive verdict from the survivors, a
 failed ``fork``/``spawn`` only sheds that worker (reported as
@@ -70,6 +78,10 @@ from repro.resilience.chaos import get_chaos
 from repro.resilience.watchdog import (WATCHDOG_PROGRESS_INTERVAL,
                                        get_watchdog)
 from repro.sat.configs import SolverConfig, cadical_like, kissat_like
+from repro.sat.proof import (LemmaStream, ProofError, cube_prefix_clauses,
+                             merge_lemma_streams, read_lemma_stream,
+                             write_drat_file)
+from repro.sat.sharing import ClauseBus, SharingConfig
 from repro.sat.solver import (DEFAULT_PROGRESS_INTERVAL, CdclSolver,
                               SolveResult)
 from repro.sat.stats import SolverStats
@@ -248,7 +260,14 @@ class WorkerReport:
 
 @dataclass
 class PortfolioResult:
-    """Outcome of a portfolio or cube-and-conquer run."""
+    """Outcome of a portfolio or cube-and-conquer run.
+
+    ``proof`` is the path of the merged DRAT proof when one was requested
+    and the run ended formula-level UNSAT (``None`` otherwise — including
+    assumption-level UNSAT, which has no formula refutation).  ``sharing``
+    holds the clause bus totals (``exported``/``imported``/``filtered``)
+    when clause sharing was on.
+    """
 
     result: SolveResult
     mode: str                      # "portfolio" or "cube"
@@ -257,6 +276,8 @@ class PortfolioResult:
     wall_time: float = 0.0
     num_cubes: int = 0
     cube_variables: list[int] = field(default_factory=list)
+    proof: str | None = None
+    sharing: dict[str, int] | None = None
 
     @property
     def status(self) -> str:
@@ -271,6 +292,8 @@ class PortfolioResult:
             "num_cubes": self.num_cubes,
             "cube_variables": list(self.cube_variables),
             "workers": [report.as_dict() for report in self.workers],
+            "proof": self.proof,
+            "sharing": dict(self.sharing) if self.sharing else None,
         }
 
 
@@ -330,12 +353,19 @@ def _install_worker_hooks(solver: CdclSolver, tracer, index: int) -> None:
 def _race_worker(index: int, cnf: Cnf, config: SolverConfig,
                  time_limit: float | None, max_conflicts: int | None,
                  max_decisions: int | None, assumptions: list[int] | None,
-                 queue, trace_path=None) -> None:
+                 queue, trace_path=None, endpoint=None,
+                 lemma_path=None) -> None:
     start = time.perf_counter()
     tracer = _worker_tracer(trace_path, index)
+    stream = LemmaStream(lemma_path, worker=index) \
+        if lemma_path is not None else None
     try:
         solver = CdclSolver(cnf, config=config)
         _install_worker_hooks(solver, tracer, index)
+        if stream is not None:
+            solver.set_proof(stream)
+        if endpoint is not None:
+            endpoint.attach(solver, stream)
         with tracer.span("worker_solve", config=config.name,
                          index=index) as span:
             result = solver.solve(
@@ -355,6 +385,8 @@ def _race_worker(index: int, cnf: Cnf, config: SolverConfig,
                    "transient": is_transient(exc),
                    "elapsed": time.perf_counter() - start})
     finally:
+        if stream is not None:
+            stream.close()
         tracer.close()
 
 
@@ -362,7 +394,7 @@ def _cube_worker(index: int, cnf: Cnf, config: SolverConfig,
                  cubes: list[list[int]], time_limit: float | None,
                  max_conflicts: int | None, max_decisions: int | None,
                  assumptions: list[int] | None, queue,
-                 trace_path=None) -> None:
+                 trace_path=None, lemma_path=None) -> None:
     start = time.perf_counter()
     base_assumptions = list(assumptions or [])
     cube_vars = {abs(literal) for cube in cubes for literal in cube}
@@ -370,11 +402,15 @@ def _cube_worker(index: int, cnf: Cnf, config: SolverConfig,
     solver = None
     completed = 0
     tracer = _worker_tracer(trace_path, index)
+    stream = LemmaStream(lemma_path, worker=index) \
+        if lemma_path is not None else None
     try:
         # One incremental session per worker: learned clauses, activities
         # and phases persist across this worker's cubes.
         solver = CdclSolver(cnf, config=config)
         _install_worker_hooks(solver, tracer, index)
+        if stream is not None:
+            solver.set_proof(stream)
         worker_span = tracer.span("worker_solve", config=config.name,
                                   index=index, cubes=len(cubes))
         with worker_span:
@@ -421,6 +457,15 @@ def _cube_worker(index: int, cnf: Cnf, config: SolverConfig,
                                    "cubes_solved": completed,
                                    "elapsed": time.perf_counter() - start})
                         return
+                    if stream is not None and result.core:
+                        # Log this cube's refutation: the negated
+                        # failed-assumption core is RUP right here (it is
+                        # the final conflict analysis over the cube
+                        # literals), and as a subset of the negated cube it
+                        # lets the parent's prefix-tree glue lemmas close
+                        # an all-UNSAT run (see cube_prefix_clauses).
+                        stream.add_clause(tuple(-literal
+                                                for literal in result.core))
                 statuses.append(result.status)
             worker_span.set(status="EXHAUSTED", cubes_solved=completed)
         queue.put({"kind": "exhausted", "index": index, "statuses": statuses,
@@ -432,6 +477,8 @@ def _cube_worker(index: int, cnf: Cnf, config: SolverConfig,
                    "stats": solver.stats if solver is not None else None,
                    "elapsed": time.perf_counter() - start})
     finally:
+        if stream is not None:
+            stream.close()
         tracer.close()
 
 
@@ -451,7 +498,7 @@ class _InlineQueue:
 
 
 def _collect(procs: list, queue, decisive, time_limit: float | None,
-             pending: set[int] | None = None):
+             pending: set[int] | None = None, pump=None):
     """Await worker messages until one is decisive or all have reported.
 
     Returns ``(messages, winner_message)``; the caller terminates whatever
@@ -460,7 +507,9 @@ def _collect(procs: list, queue, decisive, time_limit: float | None,
     without a message is recorded as a transient error — and counted on
     ``resilience.worker_deaths`` — after a couple of confirming polls; when
     ``time_limit`` is set a safety deadline (limit + grace) bounds the
-    whole wait.
+    whole wait.  ``pump`` (the clause bus's pump, when sharing is on) runs
+    once per poll iteration, so clause traffic moves at the result-polling
+    cadence without a dedicated thread.
     """
     messages: dict[int, dict] = {}
     pending = set(range(len(procs))) if pending is None else set(pending)
@@ -469,6 +518,8 @@ def _collect(procs: list, queue, decisive, time_limit: float | None,
     deadline = (time.monotonic() + time_limit + _KILL_GRACE
                 if time_limit is not None else None)
     while pending:
+        if pump is not None:
+            pump()
         try:
             message = queue.get(timeout=_POLL_INTERVAL)
         except Empty:
@@ -627,7 +678,8 @@ def _raise_if_all_workers_failed(configs: list[SolverConfig],
         raise SolverError(f"every portfolio worker failed: {details}")
 
 
-def _last_resort_message(worker, index: int, args: tuple) -> dict | None:
+def _last_resort_message(worker, index: int, args: tuple,
+                         lemma_path=None) -> dict | None:
     """The bottom rung of the degradation ladder: one in-process solve.
 
     Used when every multiprocess worker was lost (all crashed, or the host
@@ -641,7 +693,7 @@ def _last_resort_message(worker, index: int, args: tuple) -> dict | None:
     logger.warning("every portfolio worker was lost; degrading to one "
                    "in-process sequential solve")
     inline = _InlineQueue()
-    worker(index, *args, inline, trace_path=None)
+    worker(index, *args, inline, trace_path=None, lemma_path=lemma_path)
     return inline.messages[0] if inline.messages else None
 
 
@@ -670,6 +722,55 @@ def _absorb_worker_traces(tracer, span, directory, paths) -> None:
         shutil.rmtree(directory, ignore_errors=True)
 
 
+def _worker_lemma_paths(proof: str | None, count: int):
+    """Per-worker lemma stream paths (plus their directory) for proof mode.
+
+    Worker processes cannot append to one shared proof file without
+    interleaving partial lines, so each logs its own Lamport-stamped
+    :class:`~repro.sat.proof.LemmaStream` in a temporary directory and the
+    parent merge-sorts them afterwards (:func:`_compose_proof`).
+    """
+    if proof is None:
+        return None, [None] * count
+    directory = tempfile.mkdtemp(prefix="repro-proof-")
+    return directory, [os.path.join(directory, f"w{index}.lemmas")
+                       for index in range(count)]
+
+
+def _skip_proof(reason: str) -> None:
+    """A requested proof cannot be produced: warn, trace, carry on."""
+    get_tracer().event("proof_skipped", reason=reason)
+    logger.warning("proof skipped: %s", reason)
+
+
+def _compose_proof(proof: str, lemma_paths, tail=()) -> str | None:
+    """Merge the workers' lemma streams into one DRAT file at ``proof``.
+
+    Reads every stream file that exists (a worker that never started left
+    no file — and exported nothing, so nothing can reference its lemmas),
+    merge-sorts by Lamport stamp so every lemma follows its antecedents,
+    and appends ``tail`` (the cube-tree glue clauses; empty for races).
+    Returns the path on success, ``None`` — with a warning — when the
+    merged streams never derive the empty clause (the winner was killed
+    before its final flush, for example).
+    """
+    streams = []
+    for path in lemma_paths:
+        if path is None or not os.path.exists(path):
+            continue
+        try:
+            streams.append(read_lemma_stream(path))
+        except ProofError as error:  # pragma: no cover - defensive
+            _skip_proof(f"unreadable lemma stream: {error}")
+            return None
+    clauses = list(merge_lemma_streams(streams)) + list(tail)
+    if not any(len(clause) == 0 for clause in clauses):
+        _skip_proof("merged lemma streams never derive the empty clause")
+        return None
+    write_drat_file(proof, clauses)
+    return proof
+
+
 def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
                     configs: list[SolverConfig] | None = None,
                     base_config: SolverConfig | None = None,
@@ -677,13 +778,26 @@ def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
                     max_conflicts: int | None = None,
                     max_decisions: int | None = None,
                     assumptions: list[int] | None = None,
-                    sequential_fallback: bool = True) -> PortfolioResult:
+                    sequential_fallback: bool = True,
+                    sharing: SharingConfig | bool | None = None,
+                    proof: str | None = None) -> PortfolioResult:
     """Race diversified solver configurations on ``cnf``; first verdict wins.
 
     ``configs`` overrides the generated diversification (its length then
     sets the worker count).  With one worker the solve runs in-process —
     no fork, identical semantics.  ``UNKNOWN`` is only returned when every
     worker exhausted its budget (or the safety deadline killed the race).
+
+    ``sharing`` turns on clause sharing between the workers (``True`` for
+    the default :class:`~repro.sat.sharing.SharingConfig`): the parent
+    pumps a :class:`~repro.sat.sharing.ClauseBus` while polling for
+    results.  A single-worker race has nobody to share with; the flag is
+    ignored.  ``proof`` requests a DRAT proof at the given path: every
+    worker logs a Lamport-stamped lemma stream and on a *formula-level*
+    UNSAT verdict (empty core) the parent merges the streams —
+    cross-worker imports included — into one checkable proof
+    (:func:`repro.sat.proof.check_drat_file`).  Assumption-level UNSAT has
+    no formula refutation, so the proof is skipped with a warning.
 
     Dead workers only shrink the race: crashed or unspawnable workers are
     reported (``ERROR``/``SPAWN_FAILED``) while the survivors decide.  When
@@ -695,6 +809,8 @@ def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
         configs = diversified_configs(num_workers, base=base_config, seed=seed)
     if not configs:
         raise SolverError("a portfolio needs at least one configuration")
+    share = None if not sharing else \
+        (SharingConfig() if sharing is True else sharing)
     start = time.perf_counter()
     tracer = get_tracer()
     logger.info("portfolio: racing %d workers on %d vars / %d clauses",
@@ -707,23 +823,30 @@ def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
     with tracer.span("portfolio", workers=len(configs),
                      num_vars=cnf.num_vars) as span:
         trace_dir, trace_paths = _worker_trace_paths(tracer, len(configs))
+        lemma_dir, lemma_paths = _worker_lemma_paths(proof, len(configs))
+        sharing_counters: dict[str, int] | None = None
         try:
             if len(configs) == 1:
                 inline = _InlineQueue()
                 _race_worker(0, cnf, configs[0], time_limit, max_conflicts,
                              max_decisions, assumptions, inline,
-                             trace_path=trace_paths[0])
+                             trace_path=trace_paths[0],
+                             lemma_path=lemma_paths[0])
                 messages = {0: inline.messages[0]}
                 winner = inline.messages[0] \
                     if decisive(inline.messages[0]) else None
             else:
                 context = _mp_context()
                 queue = context.Queue()
+                bus = ClauseBus(len(configs), share, context) \
+                    if share is not None else None
                 procs = [context.Process(
                     target=_race_worker,
                     args=(index, cnf, config, time_limit, max_conflicts,
                           max_decisions, assumptions, queue,
-                          trace_paths[index]),
+                          trace_paths[index],
+                          bus.endpoint(index) if bus is not None else None,
+                          lemma_paths[index]),
                     daemon=False)
                     for index, config in enumerate(configs)]
                 # start() runs inside the try so that a caller's
@@ -732,49 +855,85 @@ def solve_portfolio(cnf: Cnf, num_workers: int = DEFAULT_NUM_WORKERS,
                 try:
                     started, spawn_failed = _start_workers(procs)
                     if started:
-                        messages, winner = _collect(procs, queue, decisive,
-                                                    time_limit,
-                                                    pending=set(started))
+                        messages, winner = _collect(
+                            procs, queue, decisive, time_limit,
+                            pending=set(started),
+                            pump=bus.pump if bus is not None else None)
                     else:
                         messages, winner = {}, None
                     messages.update(spawn_failed)
                 finally:
+                    if bus is not None:
+                        bus.pump()
+                        bus.publish_metrics()
+                        sharing_counters = bus.counters()
                     _shutdown(procs, queue)
+                    if bus is not None:
+                        bus.close()
         finally:
             _absorb_worker_traces(tracer, span, trace_dir, trace_paths)
 
-        if winner is None and sequential_fallback and len(configs) > 1 \
-                and _all_workers_failed(configs, messages):
-            fallback_config = replace(
-                configs[0], name=f"{configs[0].name}+seq-fallback")
-            configs = configs + [fallback_config]
-            fallback_index = len(configs) - 1
-            message = _last_resort_message(
-                _race_worker, fallback_index,
-                (cnf, fallback_config, time_limit, max_conflicts,
-                 max_decisions, assumptions))
-            if message is not None:
-                messages[fallback_index] = message
-                if decisive(message):
-                    winner = message
+        try:
+            if winner is None and sequential_fallback and len(configs) > 1 \
+                    and _all_workers_failed(configs, messages):
+                fallback_config = replace(
+                    configs[0], name=f"{configs[0].name}+seq-fallback")
+                configs = configs + [fallback_config]
+                fallback_index = len(configs) - 1
+                fallback_lemma = os.path.join(lemma_dir, "fallback.lemmas") \
+                    if lemma_dir is not None else None
+                lemma_paths = lemma_paths + [fallback_lemma]
+                message = _last_resort_message(
+                    _race_worker, fallback_index,
+                    (cnf, fallback_config, time_limit, max_conflicts,
+                     max_decisions, assumptions), lemma_path=fallback_lemma)
+                if message is not None:
+                    messages[fallback_index] = message
+                    if decisive(message):
+                        winner = message
 
-        wall_time = time.perf_counter() - start
-        winner_index = winner["index"] if winner else None
-        reports = _worker_reports(configs, messages)
-        if winner is not None:
-            result = _winning_result(winner)
-            winner_name = configs[winner_index].name
-        else:
-            _raise_if_all_workers_failed(configs, messages)
-            result = SolveResult(status="UNKNOWN", model=None,
-                                 stats=_aggregate_stats(reports, wall_time))
-            winner_name = None
+            wall_time = time.perf_counter() - start
+            winner_index = winner["index"] if winner else None
+            reports = _worker_reports(configs, messages)
+            if winner is not None:
+                result = _winning_result(winner)
+                winner_name = configs[winner_index].name
+            else:
+                _raise_if_all_workers_failed(configs, messages)
+                result = SolveResult(
+                    status="UNKNOWN", model=None,
+                    stats=_aggregate_stats(reports, wall_time))
+                winner_name = None
+
+            proof_path = None
+            if proof is not None and result.status == "UNSAT":
+                if result.core == []:
+                    # Without sharing the winner's own stream is a complete
+                    # refutation; with sharing its antecedents may live in
+                    # any stream, so all of them are merged.
+                    paths = lemma_paths if share is not None \
+                        else [lemma_paths[winner_index]]
+                    proof_path = _compose_proof(proof, paths)
+                else:
+                    _skip_proof("assumption-level UNSAT (non-empty core) "
+                                "has no formula-level refutation")
+            if proof is not None and proof_path is None:
+                # No valid proof means no proof file — a stale one from an
+                # earlier run must not outlive this verdict.
+                try:
+                    os.remove(proof)
+                except OSError:
+                    pass
+        finally:
+            if lemma_dir is not None:
+                shutil.rmtree(lemma_dir, ignore_errors=True)
         span.set(status=result.status, winner=winner_name)
     logger.info("portfolio: %s in %.3f s (winner: %s)",
                 result.status, wall_time, winner_name)
     return PortfolioResult(result=result, mode="portfolio",
                            winner=winner_name, workers=reports,
-                           wall_time=wall_time)
+                           wall_time=wall_time, proof=proof_path,
+                           sharing=sharing_counters)
 
 
 def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
@@ -786,7 +945,8 @@ def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
                            max_decisions: int | None = None,
                            assumptions: list[int] | None = None,
                            variables: list[int] | None = None,
-                           sequential_fallback: bool = True) -> PortfolioResult:
+                           sequential_fallback: bool = True,
+                           proof: str | None = None) -> PortfolioResult:
     """Split ``cnf`` into ``2**cube_depth`` cubes and conquer them in parallel.
 
     Each worker conquers its round-robin share of the cubes on one
@@ -802,6 +962,16 @@ def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
     knowledge — e.g. the primary-input variables of a circuit encoding,
     which decompose the circuit into constant-propagated slices — pass it
     directly and ``cube_depth``/``heuristic`` only cap the list length.
+
+    ``proof`` requests a DRAT proof.  A short-circuit formula-level UNSAT
+    (final core free of split *and* assumption literals) uses the deciding
+    worker's own lemma stream.  An all-cubes-UNSAT verdict is aggregated:
+    every worker logged the negated failed core of each UNSAT cube, and the
+    parent appends the prefix-tree glue lemmas
+    (:func:`repro.sat.proof.cube_prefix_clauses`) that resolve the cube
+    refutations bottom-up into the empty clause.  Under caller assumptions
+    no formula-level refutation exists, so the proof is skipped with a
+    warning (``PortfolioResult.proof`` stays ``None``).
 
     Worker loss degrades like :func:`solve_portfolio`: when every
     multiprocess worker is gone and ``sequential_fallback`` is on, the run
@@ -841,12 +1011,14 @@ def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
     with tracer.span("cube", workers=num_workers, cubes=len(cubes),
                      depth=cube_depth) as span:
         trace_dir, trace_paths = _worker_trace_paths(tracer, num_workers)
+        lemma_dir, lemma_paths = _worker_lemma_paths(proof, num_workers)
         try:
             if num_workers == 1:
                 inline = _InlineQueue()
                 _cube_worker(0, cnf, configs[0], shares[0], time_limit,
                              max_conflicts, max_decisions, assumptions,
-                             inline, trace_path=trace_paths[0])
+                             inline, trace_path=trace_paths[0],
+                             lemma_path=lemma_paths[0])
                 messages = {0: inline.messages[0]}
                 winner = inline.messages[0] \
                     if decisive(inline.messages[0]) else None
@@ -857,7 +1029,8 @@ def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
                     target=_cube_worker,
                     args=(index, cnf, configs[index], shares[index],
                           time_limit, max_conflicts, max_decisions,
-                          assumptions, queue, trace_paths[index]),
+                          assumptions, queue, trace_paths[index],
+                          lemma_paths[index]),
                     daemon=False)
                     for index in range(num_workers)]
                 # start() inside the try: see solve_portfolio.
@@ -875,61 +1048,97 @@ def solve_cube_and_conquer(cnf: Cnf, cube_depth: int = 4,
         finally:
             _absorb_worker_traces(tracer, span, trace_dir, trace_paths)
 
-        if winner is None and sequential_fallback and num_workers > 1 \
-                and _all_workers_failed(configs, messages):
-            # The cube partition is unrecoverable without its workers;
-            # degrade to one unsplit in-process solve.
-            fallback_config = replace(
-                configs[0], name=f"{configs[0].name}+seq-fallback")
-            configs = configs + [fallback_config]
-            fallback_index = len(configs) - 1
-            message = _last_resort_message(
-                _race_worker, fallback_index,
-                (cnf, fallback_config, time_limit, max_conflicts,
-                 max_decisions, assumptions))
-            if message is not None:
-                messages[fallback_index] = message
-                if message["kind"] == "result" \
-                        and message["status"] in ("SAT", "UNSAT"):
-                    winner = message
+        try:
+            if winner is None and sequential_fallback and num_workers > 1 \
+                    and _all_workers_failed(configs, messages):
+                # The cube partition is unrecoverable without its workers;
+                # degrade to one unsplit in-process solve.
+                fallback_config = replace(
+                    configs[0], name=f"{configs[0].name}+seq-fallback")
+                configs = configs + [fallback_config]
+                fallback_index = len(configs) - 1
+                fallback_lemma = os.path.join(lemma_dir, "fallback.lemmas") \
+                    if lemma_dir is not None else None
+                lemma_paths = lemma_paths + [fallback_lemma]
+                message = _last_resort_message(
+                    _race_worker, fallback_index,
+                    (cnf, fallback_config, time_limit, max_conflicts,
+                     max_decisions, assumptions), lemma_path=fallback_lemma)
+                if message is not None:
+                    messages[fallback_index] = message
+                    if message["kind"] == "result" \
+                            and message["status"] in ("SAT", "UNSAT"):
+                        winner = message
 
-        wall_time = time.perf_counter() - start
-        winner_index = winner["index"] if winner else None
-        reports = _worker_reports(configs, messages)
+            wall_time = time.perf_counter() - start
+            winner_index = winner["index"] if winner else None
+            reports = _worker_reports(configs, messages)
 
-        if winner is not None:
-            result = _winning_result(winner)
-            winner_name = configs[winner_index].name
-        else:
-            _raise_if_all_workers_failed(configs, messages)
-            exhausted = [messages.get(index) for index in range(num_workers)]
-            all_reported = all(message is not None
-                               and message["kind"] == "exhausted"
-                               for message in exhausted)
-            statuses = [status for message in exhausted
-                        if message is not None
-                        for status in message.get("statuses", [])]
-            if all_reported and statuses \
-                    and all(status == "UNSAT" for status in statuses) \
-                    and sum(len(share) for share in shares) == len(statuses):
-                # Every cube of the partition is UNSAT: the formula (under
-                # the caller's assumptions) is UNSAT.  Without assumptions
-                # the core is empty — formula-level UNSAT — matching the
-                # sequential solver's convention; with assumptions only the
-                # trivial core is known (cube cores name cube literals, not
-                # assumptions).
-                core = list(assumptions) if assumptions else []
-                result = SolveResult(
-                    status="UNSAT", model=None,
-                    stats=_aggregate_stats(reports, wall_time), core=core)
+            aggregated_unsat = False
+            if winner is not None:
+                result = _winning_result(winner)
+                winner_name = configs[winner_index].name
             else:
-                result = SolveResult(
-                    status="UNKNOWN", model=None,
-                    stats=_aggregate_stats(reports, wall_time))
-            winner_name = None
+                _raise_if_all_workers_failed(configs, messages)
+                exhausted = [messages.get(index)
+                             for index in range(num_workers)]
+                all_reported = all(message is not None
+                                   and message["kind"] == "exhausted"
+                                   for message in exhausted)
+                statuses = [status for message in exhausted
+                            if message is not None
+                            for status in message.get("statuses", [])]
+                if all_reported and statuses \
+                        and all(status == "UNSAT" for status in statuses) \
+                        and sum(len(share)
+                                for share in shares) == len(statuses):
+                    # Every cube of the partition is UNSAT: the formula
+                    # (under the caller's assumptions) is UNSAT.  Without
+                    # assumptions the core is empty — formula-level UNSAT —
+                    # matching the sequential solver's convention; with
+                    # assumptions only the trivial core is known (cube cores
+                    # name cube literals, not assumptions).
+                    core = list(assumptions) if assumptions else []
+                    result = SolveResult(
+                        status="UNSAT", model=None,
+                        stats=_aggregate_stats(reports, wall_time), core=core)
+                    aggregated_unsat = True
+                else:
+                    result = SolveResult(
+                        status="UNKNOWN", model=None,
+                        stats=_aggregate_stats(reports, wall_time))
+                winner_name = None
+
+            proof_path = None
+            if proof is not None and result.status == "UNSAT":
+                if result.core != []:
+                    _skip_proof("assumption-level UNSAT (non-empty core) "
+                                "has no formula-level refutation")
+                elif aggregated_unsat:
+                    # Cube workers never share clauses, but the glue lemmas
+                    # reference refutations from every worker's share, so
+                    # all streams are merged before the prefix tree closes
+                    # the proof.
+                    proof_path = _compose_proof(
+                        proof, lemma_paths,
+                        tail=cube_prefix_clauses(
+                            [tuple(cube) for cube in cubes]))
+                else:
+                    proof_path = _compose_proof(
+                        proof, [lemma_paths[winner_index]])
+            if proof is not None and proof_path is None:
+                # See solve_portfolio: no valid proof, no proof file.
+                try:
+                    os.remove(proof)
+                except OSError:
+                    pass
+        finally:
+            if lemma_dir is not None:
+                shutil.rmtree(lemma_dir, ignore_errors=True)
         span.set(status=result.status, winner=winner_name)
     logger.info("cube and conquer: %s in %.3f s (winner: %s)",
                 result.status, wall_time, winner_name)
     return PortfolioResult(result=result, mode="cube", winner=winner_name,
                            workers=reports, wall_time=wall_time,
-                           num_cubes=len(cubes), cube_variables=variables)
+                           num_cubes=len(cubes), cube_variables=variables,
+                           proof=proof_path)

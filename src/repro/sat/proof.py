@@ -1,0 +1,629 @@
+"""DRAT proof logging, merging and a pure-python backward proof checker.
+
+UNSAT answers become *checkable* claims through three pieces:
+
+* **Emission** — :class:`DratWriter` streams a standard DRAT proof (learned
+  clause additions, ``d`` deletion lines, the final empty clause) straight
+  from :class:`repro.sat.solver.CdclSolver`; :class:`LemmaStream` is the
+  parallel-mode sink: one per portfolio worker, each lemma stamped with a
+  Lamport timestamp so proofs from clause-*sharing* workers can later be
+  merged into one checkable sequence.
+
+* **Merging** — :func:`merge_lemma_streams` merge-sorts per-worker lemma
+  streams by ``(timestamp, worker)``.  Because reverse unit propagation is
+  *monotone* in the clause database (adding clauses never breaks an
+  existing RUP derivation), a merged proof is valid as long as every lemma
+  appears after its antecedents: local antecedents have smaller local
+  timestamps, and imported antecedents have smaller timestamps by the
+  Lamport rule (an importing worker first raises its clock past the
+  exporter's stamp).  Deletion lines are dropped on merge — omitting
+  deletions only leaves *more* clauses in the database, which RUP
+  monotonicity tolerates.  :func:`cube_prefix_clauses` supplies the glue
+  lemmas that close an all-UNSAT cube-and-conquer run: the negated failed
+  assumption cores are resolved bottom-up along the cube prefix tree until
+  the empty clause falls out.
+
+* **Checking** — :func:`check_drat` is a backward DRAT checker: it walks the
+  proof in reverse from the first empty clause, re-adding deleted clauses
+  and un-adding lemmas, and verifies every lemma *marked core* (reachable
+  from the empty-clause refutation through reason clauses) by reverse unit
+  propagation, falling back to a RAT check on the first literal.  Backward
+  checking with core marking is the standard ``drat-trim`` strategy: lemmas
+  the refutation never relies on are skipped, which keeps the pure-python
+  checker usable as a test oracle.
+
+The dialect is plain text DRAT: one clause per line, DIMACS literals,
+``0``-terminated, deletions prefixed ``d``, comments prefixed ``c``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from heapq import merge as _heap_merge
+
+from repro.cnf.cnf import Cnf
+from repro.errors import ReproError
+
+__all__ = [
+    "ProofError",
+    "DratWriter",
+    "LemmaStream",
+    "parse_drat",
+    "read_drat_file",
+    "write_drat_file",
+    "read_lemma_stream",
+    "merge_lemma_streams",
+    "cube_prefix_clauses",
+    "ProofCheckResult",
+    "check_drat",
+    "check_drat_file",
+]
+
+
+class ProofError(ReproError):
+    """A proof could not be written, parsed or composed."""
+
+
+def _format_clause(clause) -> str:
+    if clause:
+        return " ".join(str(literal) for literal in clause) + " 0"
+    return "0"
+
+
+class DratWriter:
+    """Streams a DRAT proof to ``path`` as the solver runs.
+
+    The writer is handed to :meth:`repro.sat.solver.CdclSolver.set_proof`;
+    the solver calls :meth:`add_clause` for every learned clause (and the
+    final empty clause) and :meth:`delete_clause` when database reduction
+    drops a learned clause.  Usable as a context manager.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.num_added = 0
+        self.num_deleted = 0
+        try:
+            self._file: io.TextIOBase | None = open(path, "w")
+        except OSError as error:
+            raise ProofError(f"cannot open proof file {path!r}: {error}") \
+                from error
+
+    def add_clause(self, clause) -> None:
+        if self._file is None:
+            return
+        self._file.write(_format_clause(clause) + "\n")
+        self.num_added += 1
+
+    def delete_clause(self, clause) -> None:
+        if self._file is None:
+            return
+        self._file.write("d " + _format_clause(clause) + "\n")
+        self.num_deleted += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "DratWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LemmaStream:
+    """Per-worker proof sink for parallel modes, with a Lamport clock.
+
+    Each added lemma is stamped ``clock + 1``; :meth:`observe` raises the
+    clock past the timestamp of an imported clause, so in any merged
+    ordering by ``(timestamp, worker)`` a lemma always lands *after* every
+    clause its derivation may have used.  Deletions are deliberately
+    dropped: merged proofs keep all clauses alive (see the module
+    docstring).  With ``path=None`` the stream records in memory
+    (:attr:`lemmas`); with a path it appends ``<ts> <lits...> 0`` lines so
+    worker processes can hand their stream to the parent through a file.
+    """
+
+    def __init__(self, path: str | None = None, worker: int = 0) -> None:
+        self.path = path
+        self.worker = worker
+        self.clock = 0
+        self.lemmas: list[tuple[int, tuple[int, ...]]] = []
+        self._file: io.TextIOBase | None = None
+        if path is not None:
+            try:
+                # Line-buffered: a lemma must be on disk before the clause
+                # can cross the sharing bus, so a worker killed mid-race can
+                # never leave an importer's antecedent unflushed (and a
+                # terminated loser's file always ends at a line boundary).
+                self._file = open(path, "w", buffering=1)
+            except OSError as error:
+                raise ProofError(
+                    f"cannot open lemma stream {path!r}: {error}") from error
+
+    def observe(self, timestamp: int) -> None:
+        """Advance the clock past an imported clause's timestamp."""
+        if timestamp > self.clock:
+            self.clock = timestamp
+
+    def add_clause(self, clause) -> None:
+        self.clock += 1
+        record = (self.clock, tuple(clause))
+        if self._file is not None:
+            self._file.write(f"{self.clock} " + _format_clause(clause) + "\n")
+        else:
+            self.lemmas.append(record)
+
+    def delete_clause(self, clause) -> None:  # merged proofs keep clauses
+        return None
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "LemmaStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_lemma_stream(path: str) -> list[tuple[int, tuple[int, ...]]]:
+    """Parse a :class:`LemmaStream` file back into ``(ts, clause)`` records."""
+    records: list[tuple[int, tuple[int, ...]]] = []
+    try:
+        with open(path) as handle:
+            for line_number, line in enumerate(handle, start=1):
+                text = line.strip()
+                if not text or text.startswith("c"):
+                    continue
+                try:
+                    numbers = [int(token) for token in text.split()]
+                except ValueError as error:
+                    raise ProofError(
+                        f"{path}:{line_number}: bad lemma line "
+                        f"{text!r}") from error
+                if len(numbers) < 2 or numbers[-1] != 0:
+                    raise ProofError(
+                        f"{path}:{line_number}: lemma line not 0-terminated")
+                records.append((numbers[0], tuple(numbers[1:-1])))
+    except OSError as error:
+        raise ProofError(f"cannot read lemma stream {path!r}: {error}") \
+            from error
+    return records
+
+
+def merge_lemma_streams(
+        streams: list[list[tuple[int, tuple[int, ...]]]],
+) -> list[tuple[int, ...]]:
+    """Merge per-worker lemma streams into one proof-ordered clause list.
+
+    Streams are merged by ``(timestamp, worker index, position)``; each
+    individual stream is already timestamp-sorted (Lamport clocks only move
+    forward), so this is a k-way sorted merge.  The Lamport stamping rule
+    guarantees every lemma follows its antecedents in the merged order.
+    """
+    keyed = (
+        [(timestamp, worker, position, clause)
+         for position, (timestamp, clause) in enumerate(stream)]
+        for worker, stream in enumerate(streams)
+    )
+    return [entry[3] for entry in _heap_merge(*keyed)]
+
+
+def parse_drat(text: str) -> list[tuple[str, tuple[int, ...]]]:
+    """Parse DRAT text into ``(op, clause)`` pairs; op is ``"a"`` or ``"d"``."""
+    ops: list[tuple[str, tuple[int, ...]]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("c"):
+            continue
+        op = "a"
+        if stripped.startswith("d ") or stripped == "d":
+            op = "d"
+            stripped = stripped[1:].strip()
+        try:
+            numbers = [int(token) for token in stripped.split()]
+        except ValueError as error:
+            raise ProofError(
+                f"line {line_number}: bad proof line {line!r}") from error
+        if not numbers or numbers[-1] != 0:
+            raise ProofError(
+                f"line {line_number}: proof line not 0-terminated: {line!r}")
+        if any(number == 0 for number in numbers[:-1]):
+            raise ProofError(
+                f"line {line_number}: literal 0 inside clause: {line!r}")
+        ops.append((op, tuple(numbers[:-1])))
+    return ops
+
+
+def read_drat_file(path: str) -> list[tuple[str, tuple[int, ...]]]:
+    """Read and parse a DRAT proof file."""
+    try:
+        with open(path) as handle:
+            return parse_drat(handle.read())
+    except OSError as error:
+        raise ProofError(f"cannot read proof file {path!r}: {error}") \
+            from error
+
+
+def write_drat_file(path: str, clauses, *,
+                    ensure_empty: bool = False) -> int:
+    """Write clause additions as a DRAT file; return the number of lines.
+
+    ``clauses`` is an iterable of DIMACS clauses (addition lines only — the
+    merged parallel proofs this helper serves carry no deletions).  With
+    ``ensure_empty`` a final empty clause is appended when the sequence does
+    not already contain one.
+    """
+    count = 0
+    saw_empty = False
+    try:
+        with open(path, "w") as handle:
+            for clause in clauses:
+                handle.write(_format_clause(clause) + "\n")
+                count += 1
+                if not clause:
+                    saw_empty = True
+            if ensure_empty and not saw_empty:
+                handle.write("0\n")
+                count += 1
+    except OSError as error:
+        raise ProofError(f"cannot write proof file {path!r}: {error}") \
+            from error
+    return count
+
+
+def cube_prefix_clauses(cubes: list[tuple[int, ...]]) -> list[tuple[int, ...]]:
+    """Glue lemmas closing an all-UNSAT cube-and-conquer run.
+
+    ``cubes`` is the full cube set as produced by
+    :func:`repro.sat.portfolio.generate_cubes`: every sign combination of a
+    fixed variable order, so the cubes are the leaves of a complete binary
+    prefix tree.  Per UNSAT cube the solver already derived the negated
+    failed-assumption core (a *subset* of the negated cube, which only makes
+    unit propagation conflict sooner).  This helper returns the internal
+    nodes bottom-up — for every proper prefix, the clause asserting the
+    prefix cannot hold — ending with the empty clause.  Each returned clause
+    is RUP given its two children, so appending them after the merged worker
+    streams completes the proof.
+    """
+    if not cubes:
+        return [()]
+    depth = len(cubes[0])
+    if any(len(cube) != depth for cube in cubes):
+        raise ProofError("cubes do not share one variable order")
+    if len(cubes) != 1 << depth:
+        raise ProofError(
+            f"expected {1 << depth} cubes for depth {depth}, got {len(cubes)}")
+    clauses: list[tuple[int, ...]] = []
+    prefixes = {cube[:depth - 1] for cube in cubes}
+    for level in range(depth - 1, 0, -1):
+        for prefix in sorted(prefixes, key=lambda p: [abs(x) * 2 + (x < 0)
+                                                      for x in p]):
+            clauses.append(tuple(-literal for literal in prefix))
+        prefixes = {prefix[:level - 1] for prefix in prefixes}
+    clauses.append(())
+    return clauses
+
+
+# --------------------------------------------------------------------- #
+# Backward DRAT checking
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ProofCheckResult:
+    """Outcome of one :func:`check_drat` run."""
+
+    valid: bool
+    reason: str = ""
+    lemmas: int = 0    #: additions up to (and including) the empty clause
+    checked: int = 0   #: lemmas actually verified (core-marked)
+    deletions: int = 0
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+class _ClauseDb:
+    """Mutable clause database with two-watched-literal propagation.
+
+    Built for the backward walk: clauses are added, removed and *re-added*
+    (when the walk crosses a deletion line) by stable integer id.  Watcher
+    lists are maintained lazily — entries for inactive clauses, and stale
+    entries whose literal is no longer in the clause's first two positions,
+    are discarded as propagation encounters them.
+    """
+
+    def __init__(self) -> None:
+        self.lits: list[list[int]] = []    # id -> literals (persistent)
+        self.active: list[bool] = []
+        self.key_ids: dict[tuple[int, ...], set[int]] = {}
+        self.watchers: dict[int, list[int]] = {}
+        self.units: set[int] = set()
+        self.empties: set[int] = set()
+
+    @staticmethod
+    def key(clause) -> tuple[int, ...]:
+        return tuple(sorted(clause))
+
+    def add(self, clause) -> int:
+        cid = len(self.lits)
+        self.lits.append(list(clause))
+        self.active.append(False)
+        self.reinsert(cid)
+        return cid
+
+    def reinsert(self, cid: int) -> None:
+        clause = self.lits[cid]
+        self.active[cid] = True
+        self.key_ids.setdefault(self.key(clause), set()).add(cid)
+        if not clause:
+            self.empties.add(cid)
+        elif len(clause) == 1:
+            self.units.add(cid)
+        else:
+            self.watchers.setdefault(clause[0], []).append(cid)
+            self.watchers.setdefault(clause[1], []).append(cid)
+
+    def remove(self, cid: int) -> None:
+        clause = self.lits[cid]
+        self.active[cid] = False
+        self.key_ids[self.key(clause)].discard(cid)
+        self.units.discard(cid)
+        self.empties.discard(cid)
+        # Watcher entries are cleaned lazily during propagation.
+
+    def remove_by_key(self, clause) -> int | None:
+        ids = self.key_ids.get(self.key(clause))
+        if not ids:
+            return None
+        cid = min(ids)  # deterministic pick among identical copies
+        self.remove(cid)
+        return cid
+
+    def active_ids(self):
+        return (cid for cid, live in enumerate(self.active) if live)
+
+
+def _propagate(db: _ClauseDb, assumptions) -> tuple[int, dict[int, int | None]] | None:
+    """Unit-propagate ``assumptions`` over ``db``.
+
+    Returns ``(conflict_clause_id, reasons)`` when propagation derives a
+    conflict (``reasons`` maps each propagated variable to the clause id
+    that forced it, ``None`` for assumption literals), or ``None`` when a
+    fixpoint is reached without conflict.  Assignments are per-call; the
+    database is only mutated through watcher maintenance, which preserves
+    the watch invariants.
+    """
+    value: dict[int, bool] = {}
+    reason: dict[int, int | None] = {}
+    trail: list[int] = []
+
+    def assign(literal: int, why: int | None) -> bool:
+        var = abs(literal)
+        want = literal > 0
+        if var in value:
+            return value[var] == want
+        value[var] = want
+        reason[var] = why
+        trail.append(literal)
+        return True
+
+    for cid in db.empties:
+        return cid, reason
+    for literal in assumptions:
+        if not assign(literal, None):
+            # The assumption set is itself contradictory (the candidate
+            # lemma is a tautology): vacuously conflicting, no clauses used.
+            return -1, reason
+    for cid in list(db.units):
+        if cid not in db.units or not db.active[cid]:
+            continue
+        literal = db.lits[cid][0]
+        if not assign(literal, cid):
+            return cid, reason
+
+    head = 0
+    while head < len(trail):
+        literal = trail[head]
+        head += 1
+        false_literal = -literal
+        watch_list = db.watchers.get(false_literal)
+        if not watch_list:
+            continue
+        position = 0
+        while position < len(watch_list):
+            cid = watch_list[position]
+            if not db.active[cid]:
+                watch_list[position] = watch_list[-1]
+                watch_list.pop()
+                continue
+            clause = db.lits[cid]
+            if false_literal not in clause[:2]:
+                # Stale entry: the clause moved this watch elsewhere while
+                # this list was not being scanned.
+                watch_list[position] = watch_list[-1]
+                watch_list.pop()
+                continue
+            if clause[0] == false_literal:
+                clause[0], clause[1] = clause[1], clause[0]
+            first = clause[0]
+            first_var = abs(first)
+            if first_var in value and value[first_var] == (first > 0):
+                position += 1
+                continue  # satisfied through the other watch
+            moved = False
+            for index in range(2, len(clause)):
+                candidate = clause[index]
+                cand_var = abs(candidate)
+                if cand_var not in value or value[cand_var] == (candidate > 0):
+                    clause[1], clause[index] = clause[index], clause[1]
+                    db.watchers.setdefault(candidate, []).append(cid)
+                    watch_list[position] = watch_list[-1]
+                    watch_list.pop()
+                    moved = True
+                    break
+            if moved:
+                continue
+            if first_var in value:  # false and unsatisfied: conflict
+                return cid, reason
+            assign(first, cid)
+            position += 1
+    return None
+
+
+def _mark_used(db: _ClauseDb, conflict_id: int,
+               reasons: dict[int, int | None]) -> set[int]:
+    """Clause ids the refutation rests on: conflict clause plus the reason
+    closure of its literals (the clauses backward checking must verify)."""
+    if conflict_id < 0:
+        return set()
+    used: set[int] = set()
+    seen_vars: set[int] = set()
+    stack = [conflict_id]
+    while stack:
+        cid = stack.pop()
+        if cid in used:
+            continue
+        used.add(cid)
+        for literal in db.lits[cid]:
+            var = abs(literal)
+            if var in seen_vars:
+                continue
+            seen_vars.add(var)
+            why = reasons.get(var)
+            if why is not None and why >= 0:
+                stack.append(why)
+    return used
+
+
+def _rup(db: _ClauseDb, clause) -> set[int] | None:
+    """RUP check: does asserting the negation of ``clause`` conflict?
+
+    Returns the set of clause ids used by the refutation, or ``None`` when
+    the clause is not RUP.
+    """
+    outcome = _propagate(db, [-literal for literal in clause])
+    if outcome is None:
+        return None
+    conflict_id, reasons = outcome
+    return _mark_used(db, conflict_id, reasons)
+
+
+def _rat(db: _ClauseDb, clause) -> set[int] | None:
+    """RAT fallback on the first literal (the DRAT pivot convention)."""
+    if not clause:
+        return None
+    pivot = clause[0]
+    used: set[int] = set()
+    for cid in db.active_ids():
+        other = db.lits[cid]
+        if -pivot not in other:
+            continue
+        resolvent: list[int] = list(clause[1:])
+        seen = set(resolvent)
+        tautology = False
+        for literal in other:
+            if literal == -pivot:
+                continue
+            if -literal in seen:
+                tautology = True
+                break
+            if literal not in seen:
+                seen.add(literal)
+                resolvent.append(literal)
+        if tautology:
+            continue
+        sub_used = _rup(db, resolvent)
+        if sub_used is None:
+            return None
+        used |= sub_used
+        used.add(cid)
+    return used
+
+
+def check_drat(cnf: Cnf | list, proof, *,
+               check_all: bool = False) -> ProofCheckResult:
+    """Backward-check a DRAT proof of unsatisfiability for ``cnf``.
+
+    ``proof`` is a list of ``(op, clause)`` pairs (see :func:`parse_drat`).
+    The proof is valid when it contains an empty-clause addition and every
+    core-marked lemma before it is RUP (or RAT on its first literal) with
+    respect to the clause database at its point in the proof.
+    ``check_all=True`` verifies every lemma instead of only the core —
+    slower, but useful when exercising the checker itself.
+    """
+    clauses = cnf.clauses if isinstance(cnf, Cnf) else list(cnf)
+    ops = list(proof)
+    empty_index = next(
+        (index for index, (op, clause) in enumerate(ops)
+         if op == "a" and not clause), None)
+    if empty_index is None:
+        return ProofCheckResult(False, "proof never adds the empty clause")
+    ops = ops[:empty_index + 1]
+    lemma_count = sum(1 for op, _ in ops if op == "a")
+    deletion_count = len(ops) - lemma_count
+
+    db = _ClauseDb()
+    for clause in clauses:
+        db.add(clause)
+
+    # Forward replay up to (excluding) the empty clause, remembering each
+    # op's clause id so the backward walk can undo it exactly.
+    op_ids: list[int] = []
+    for index, (op, clause) in enumerate(ops[:-1]):
+        if op == "a":
+            op_ids.append(db.add(clause))
+        else:
+            cid = db.remove_by_key(clause)
+            if cid is None:
+                return ProofCheckResult(
+                    False,
+                    f"step {index + 1}: deletion of a clause not in the "
+                    f"database: {list(clause)}",
+                    lemmas=lemma_count, deletions=deletion_count)
+            op_ids.append(cid)
+
+    marked = _rup(db, ())
+    if marked is None:
+        return ProofCheckResult(
+            False, "the empty clause is not RUP in the final database",
+            lemmas=lemma_count, deletions=deletion_count)
+    checked = 1
+
+    for index in range(len(ops) - 2, -1, -1):
+        op, clause = ops[index]
+        cid = op_ids[index]
+        if op == "d":
+            db.reinsert(cid)
+            continue
+        db.remove(cid)
+        if not check_all and cid not in marked:
+            continue
+        used = _rup(db, clause)
+        if used is None:
+            used = _rat(db, clause)
+        if used is None:
+            return ProofCheckResult(
+                False,
+                f"step {index + 1}: lemma {list(clause)} is neither RUP "
+                f"nor RAT at its point in the proof",
+                lemmas=lemma_count, checked=checked,
+                deletions=deletion_count)
+        marked |= used
+        checked += 1
+
+    return ProofCheckResult(True, "", lemmas=lemma_count, checked=checked,
+                            deletions=deletion_count)
+
+
+def check_drat_file(cnf: Cnf, path: str, *,
+                    check_all: bool = False) -> ProofCheckResult:
+    """Read ``path`` and backward-check it against ``cnf``."""
+    return check_drat(cnf, read_drat_file(path), check_all=check_all)

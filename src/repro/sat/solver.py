@@ -15,6 +15,15 @@ modern additions the paper's target solvers (Kissat, CaDiCaL) rely on:
   deleted clauses are detached from their two watch lists and their slots
   recycled, so clause indices — and therefore reason references — stay
   stable across reductions;
+* DRAT proof logging and clause-sharing hooks: a proof sink
+  (:meth:`CdclSolver.set_proof`) receives every learned clause, database
+  deletion and the final empty clause; a :class:`ClauseExportHook`
+  (:meth:`CdclSolver.set_export_hook`) forwards short/low-LBD learned
+  clauses to a portfolio bus; and an import source
+  (:meth:`CdclSolver.set_import_source`) is drained at restart boundaries,
+  where foreign clauses are simplified against the level-0 assignment and
+  filtered for duplicates and size.  All three default to off and cost
+  one false test per conflict when uninstalled;
 * an *incremental* interface in the MiniSat assumption style:
   :meth:`CdclSolver.solve` accepts ``assumptions`` (DIMACS literals held
   fixed for one call), UNSAT-under-assumptions results carry a
@@ -76,6 +85,39 @@ class SolveResult:
     @property
     def is_unsat(self) -> bool:
         return self.status == "UNSAT"
+
+
+class ClauseExportHook:
+    """Filters learned clauses worth sharing and forwards them to a sink.
+
+    Installed with :meth:`CdclSolver.set_export_hook`; the solver calls the
+    hook with every learned clause (DIMACS literals) and its LBD.  Clauses
+    longer than ``max_len`` or with glue above ``max_lbd`` are dropped (the
+    HordeSat rule: only short, low-glue clauses are worth the traffic), and
+    ``budget`` caps the total number of exports for this solver.  ``sink``
+    receives the surviving ``(clause, lbd)`` pairs — typically a
+    :class:`repro.sat.sharing.BusEndpoint` export method.
+    """
+
+    def __init__(self, sink, max_len: int = 8, max_lbd: int = 4,
+                 budget: int | None = None) -> None:
+        self.sink = sink
+        self.max_len = max_len
+        self.max_lbd = max_lbd
+        self.budget = budget
+        self.exported = 0
+        self.filtered = 0
+
+    def __call__(self, clause: tuple[int, ...], lbd: int) -> bool:
+        """Offer one learned clause; return True when it was exported."""
+        if self.budget is not None and self.exported >= self.budget:
+            return False
+        if len(clause) > self.max_len or lbd > self.max_lbd:
+            self.filtered += 1
+            return False
+        self.exported += 1
+        self.sink(clause, lbd)
+        return True
 
 
 def _luby(index: int) -> int:
@@ -144,6 +186,18 @@ class CdclSolver:
         self._progress_interval = 0
         self._next_progress = 0
         self._dl_ema = 0.0
+
+        # Proof logging and clause sharing (see set_proof / set_export_hook
+        # / set_import_source).  _log_learned folds "is any learned-clause
+        # consumer installed" into one boolean so the conflict hot path pays
+        # a single false test when proofs and sharing are off.
+        self._proof = None
+        self._export = None
+        self._import_source = None
+        self._import_max_len = 32
+        self._import_seen: set[tuple[int, ...]] = set()
+        self._log_learned = False
+        self._proof_empty_done = False
 
         self._ok = True
         self._trivially_unsat = False
@@ -252,6 +306,117 @@ class CdclSolver:
             conflicts_per_sec=call_conflicts / elapsed if elapsed > 0 else 0.0,
             propagations_per_conflict=stats.propagations_per_conflict,
         ))
+
+    # ------------------------------------------------------------------ #
+    # Proof logging and clause sharing
+    # ------------------------------------------------------------------ #
+
+    def set_proof(self, sink) -> None:
+        """Install a proof sink (``None`` uninstalls it).
+
+        ``sink`` needs ``add_clause(clause)`` and ``delete_clause(clause)``
+        taking DIMACS clauses — :class:`repro.sat.proof.DratWriter` for a
+        directly checkable sequential proof, or
+        :class:`repro.sat.proof.LemmaStream` for a parallel worker whose
+        stream is merged later.  The solver logs every learned clause
+        (units included), every database-reduction deletion, and the empty
+        clause when it concludes formula-level UNSAT.  Proofs of
+        UNSAT-*under-assumptions* results are not meaningful: the failed
+        core is reported instead of an empty clause.
+        """
+        self._proof = sink
+        self._log_learned = (self._proof is not None
+                             or self._export is not None)
+
+    def set_export_hook(self, hook) -> None:
+        """Install a learned-clause export hook (``None`` uninstalls it).
+
+        ``hook`` is called with ``(clause, lbd)`` for every learned clause,
+        DIMACS-encoded, and returns truthy when the clause was actually
+        exported (see :class:`ClauseExportHook`); exports are counted on
+        ``stats.exported_clauses``.
+        """
+        self._export = hook
+        self._log_learned = (self._proof is not None
+                             or self._export is not None)
+
+    def set_import_source(self, source, max_len: int = 32) -> None:
+        """Install a shared-clause import source (``None`` uninstalls it).
+
+        ``source()`` returns an iterable of ``(clause, lbd)`` pairs (DIMACS
+        clauses learned by other portfolio workers).  The solver drains it
+        at restart boundaries — the only points where the trail is at level
+        0, so every import can be simplified against the permanent
+        assignment: satisfied clauses are dropped, false literals removed,
+        units enqueued, and a clause that empties out makes the formula
+        UNSAT.  Clauses longer than ``max_len`` and duplicates of earlier
+        imports are filtered (``stats.import_filtered``).
+        """
+        self._import_source = source
+        self._import_max_len = max_len
+
+    def _record_learned(self, learned: list[int], lbd: int) -> None:
+        """Feed one learned clause to the proof sink and the export hook."""
+        clause = tuple(self._to_dimacs(literal) for literal in learned)
+        if self._proof is not None:
+            self._proof.add_clause(clause)
+        if self._export is not None and self._export(clause, lbd):
+            self.stats.exported_clauses += 1
+
+    def _emit_empty_proof(self) -> None:
+        """Log the empty clause (once) when concluding formula-level UNSAT."""
+        if self._proof is not None and not self._proof_empty_done:
+            self._proof_empty_done = True
+            self._proof.add_clause(())
+
+    def _drain_imports(self) -> bool:
+        """Attach pending shared clauses; return False on UNSAT.
+
+        Must be called with the trail at decision level 0.  Returning False
+        means an import was falsified by the level-0 assignment — the
+        imported clause is a logical consequence of the formula, so the
+        formula itself is UNSAT and the database is marked inconsistent.
+        """
+        stats = self.stats
+        lit_val = self._lit_val
+        for clause, lbd in self._import_source():
+            if len(clause) > self._import_max_len:
+                stats.import_filtered += 1
+                continue
+            key = tuple(sorted(clause))
+            if key in self._import_seen:
+                stats.import_filtered += 1
+                continue
+            self._import_seen.add(key)
+            literals = self._convert_clause(clause)
+            if literals is None:
+                stats.import_filtered += 1
+                continue  # tautology
+            simplified: list[int] = []
+            satisfied = False
+            for literal in literals:
+                value = lit_val[literal]
+                if value == _TRUE:
+                    satisfied = True
+                    break
+                if value == _FALSE:
+                    continue
+                simplified.append(literal)
+            if satisfied:
+                stats.import_filtered += 1
+                continue
+            if not simplified:
+                self._ok = False
+                return False
+            if len(simplified) == 1:
+                if not self._enqueue(simplified[0], -1):
+                    self._ok = False
+                    return False
+            else:
+                self._attach_clause(simplified, lbd=max(lbd, 1), learned=True)
+                stats.learned_db_size = len(self._learned_indices)
+            stats.imported_clauses += 1
+        return True
 
     # ------------------------------------------------------------------ #
     # Incremental interface
@@ -655,8 +820,12 @@ class CdclSolver:
         if not to_delete:
             return
         self.stats.deleted_clauses += len(to_delete)
+        proof = self._proof
         for index in to_delete:
             clause = clauses[index]
+            if proof is not None:
+                proof.delete_clause(tuple(self._to_dimacs(literal)
+                                          for literal in clause))
             self._detach_watch(clause[0], index)
             self._detach_watch(clause[1], index)
             clauses[index] = None
@@ -696,10 +865,18 @@ class CdclSolver:
         assumption_lits = (self._convert_assumptions(assumptions)
                            if assumptions else [])
         if self._trivially_unsat or not self._ok:
+            # The inconsistency was found by level-0 simplification, so the
+            # empty clause is RUP against the raw formula: a one-line proof.
+            self._emit_empty_proof()
             stats.solve_time = time.perf_counter() - start_time
             return SolveResult(status="UNSAT", model=None, stats=stats,
                                core=[])
         self._backtrack(0)
+        if self._import_source is not None and not self._drain_imports():
+            self._emit_empty_proof()
+            stats.solve_time = time.perf_counter() - start_time
+            return SolveResult(status="UNSAT", model=None, stats=stats,
+                               core=[])
         conflicts_start = stats.conflicts
         decisions_start = stats.decisions
         if self._progress_interval:
@@ -723,11 +900,14 @@ class CdclSolver:
                     # Conflict at level 0: the database itself is now
                     # inconsistent, independent of any assumptions.
                     self._ok = False
+                    self._emit_empty_proof()
                     stats.solve_time = time.perf_counter() - start_time
                     return SolveResult(status="UNSAT", model=None,
                                        stats=stats, core=[])
                 learned, backtrack_level, lbd = self._analyze(conflict)
                 self._backtrack(backtrack_level)
+                if self._log_learned:
+                    self._record_learned(learned, lbd)
                 if len(learned) == 1:
                     self._enqueue(learned[0], -1)
                 else:
@@ -767,6 +947,12 @@ class CdclSolver:
                 stats.restarts += 1
                 conflicts_until_restart = self._next_restart_budget(restart_count)
                 self._backtrack(0)
+                if self._import_source is not None \
+                        and not self._drain_imports():
+                    self._emit_empty_proof()
+                    stats.solve_time = time.perf_counter() - start_time
+                    return SolveResult(status="UNSAT", model=None,
+                                       stats=stats, core=[])
                 if conflicts_since_reduce >= self.config.reduce_interval:
                     conflicts_since_reduce = 0
                     self._reduce_database()
@@ -828,10 +1014,34 @@ def solve_cnf(cnf: Cnf, config: SolverConfig | None = None,
               time_limit: float | None = None,
               assumptions: list[int] | None = None,
               progress=None,
-              progress_interval: int = DEFAULT_PROGRESS_INTERVAL) -> SolveResult:
-    """Convenience wrapper: build a :class:`CdclSolver` and run it once."""
+              progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
+              proof: str | None = None) -> SolveResult:
+    """Convenience wrapper: build a :class:`CdclSolver` and run it once.
+
+    ``proof`` names a DRAT file to stream the run's proof into.  The file is
+    only kept when the result is formula-level UNSAT (status ``UNSAT`` with
+    an empty core) — that is the only outcome a DRAT proof certifies; for
+    any other outcome the partial file is removed.
+    """
     solver = CdclSolver(cnf, config=config)
     if progress is not None:
         solver.set_progress(progress, interval=progress_interval)
-    return solver.solve(max_conflicts=max_conflicts, max_decisions=max_decisions,
-                        time_limit=time_limit, assumptions=assumptions)
+    if proof is None:
+        return solver.solve(max_conflicts=max_conflicts,
+                            max_decisions=max_decisions,
+                            time_limit=time_limit, assumptions=assumptions)
+    from repro.sat.proof import DratWriter
+
+    with DratWriter(proof) as writer:
+        solver.set_proof(writer)
+        result = solver.solve(max_conflicts=max_conflicts,
+                              max_decisions=max_decisions,
+                              time_limit=time_limit, assumptions=assumptions)
+    if not (result.is_unsat and result.core == []):
+        import os
+
+        try:
+            os.remove(proof)
+        except OSError:
+            pass
+    return result

@@ -34,6 +34,13 @@ class SolverStats:
     #: Times the resilience layer degraded to a fallback solver to produce
     #: this result (0 on the healthy path; see repro.sat.backends).
     fallbacks: int = 0
+    #: Clause-sharing traffic (0 unless a portfolio shares clauses; see
+    #: repro.sat.sharing): learned clauses this solver exported, foreign
+    #: clauses it attached, and candidates its import filters rejected
+    #: (duplicate, oversized, or already satisfied at level 0).
+    exported_clauses: int = 0
+    imported_clauses: int = 0
+    import_filtered: int = 0
 
     @property
     def propagations_per_conflict(self) -> float:

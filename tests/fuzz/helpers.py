@@ -9,7 +9,11 @@ Every fuzz check runs the same protocol on one seeded instance:
   by clause** (checked literal-wise here, not via ``Cnf.evaluate``, so the
   test cannot share a bug with the library's own evaluator);
 * an UNSAT verdict is re-proved by a second solver configuration with a
-  different seed, restart strategy and phase (two independent refutations).
+  different seed, restart strategy and phase (two independent refutations);
+* the *fourth oracle*: solving paths that emit DRAT proofs (internal,
+  portfolio, cube-and-conquer) must produce a proof the built-in backward
+  checker validates for every formula-level UNSAT verdict
+  (:func:`check_unsat_proof`).
 
 The generators are deliberately diverse: uniform random k-SAT across widths
 and clause ratios, and Tseitin-encoded LEC miters (equivalent and mutated)
@@ -34,6 +38,7 @@ __all__ = [
     "miter_cnf_instance",
     "model_satisfies_clause_by_clause",
     "check_against_oracles",
+    "check_unsat_proof",
     "primary_config",
 ]
 
@@ -110,6 +115,20 @@ def check_against_oracles(cnf: Cnf, status: str,
         oracle_status, _ = dpll_solve(cnf, max_variables=30)
         assert oracle_status == status, \
             f"{label}: CDCL says {status}, DPLL oracle says {oracle_status}"
+
+
+def check_unsat_proof(cnf: Cnf, proof_path: str, label: str) -> None:
+    """The fourth oracle: an UNSAT verdict's DRAT proof must check.
+
+    A verdict that agrees with every solver-based oracle can still hide a
+    shared reasoning bug; the proof checker replays the actual refutation
+    by reverse unit propagation, which no solver heuristic can fake.
+    """
+    from repro.sat.proof import check_drat_file
+
+    outcome = check_drat_file(cnf, proof_path)
+    assert outcome.valid, \
+        f"{label}: DRAT proof rejected: {outcome.reason}"
 
 
 def primary_config(seed: int) -> SolverConfig:

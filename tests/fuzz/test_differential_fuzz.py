@@ -9,6 +9,9 @@ All failures carry the generator seed, so any counterexample reproduces
 with a one-liner.
 """
 
+import os
+import tempfile
+
 import pytest
 
 from repro.sat.portfolio import solve_cube_and_conquer, solve_portfolio
@@ -16,6 +19,7 @@ from repro.sat.solver import solve_cnf
 
 from tests.fuzz.helpers import (
     check_against_oracles,
+    check_unsat_proof,
     miter_cnf_instance,
     model_satisfies_clause_by_clause,
     primary_config,
@@ -68,6 +72,46 @@ def _agreement_instance(index: int):
     return miter_cnf_instance(index), f"agreement/miter[{index}]"
 
 
+def _check_proof_emission(cnf, seed: int, label: str) -> None:
+    """The fourth oracle: every formula-level UNSAT verdict from the
+    internal, portfolio and cube-and-conquer paths must come with a DRAT
+    proof the backward checker validates (SAT/UNKNOWN leave no file)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "seq.drat")
+        result = solve_cnf(cnf, config=primary_config(seed), proof=path)
+        if result.status == "UNSAT" and result.core == []:
+            check_unsat_proof(cnf, path, f"{label}/internal")
+        else:
+            assert not os.path.exists(path), \
+                f"{label}: proof file left behind on {result.status}"
+
+        path = os.path.join(tmp, "race.drat")
+        race = solve_portfolio(cnf, num_workers=2, seed=seed,
+                               sharing=seed % 2 == 1, proof=path)
+        assert race.status == result.status, \
+            f"{label}: portfolio says {race.status}, " \
+            f"sequential says {result.status}"
+        if race.status == "UNSAT":
+            assert race.proof == path, \
+                f"{label}: portfolio UNSAT without a proof"
+            check_unsat_proof(cnf, path, f"{label}/portfolio")
+        else:
+            assert race.proof is None and not os.path.exists(path)
+
+        path = os.path.join(tmp, "cube.drat")
+        cube = solve_cube_and_conquer(cnf, cube_depth=2, num_workers=2,
+                                      seed=seed, proof=path)
+        assert cube.status == result.status, \
+            f"{label}: cube-and-conquer says {cube.status}, " \
+            f"sequential says {result.status}"
+        if cube.status == "UNSAT":
+            assert cube.proof == path, \
+                f"{label}: cube-and-conquer UNSAT without a proof"
+            check_unsat_proof(cnf, path, f"{label}/cube")
+        else:
+            assert cube.proof is None and not os.path.exists(path)
+
+
 # --------------------------------------------------------------------- #
 # Tier-1 quick subset
 
@@ -88,6 +132,20 @@ def test_quick_portfolio_cube_agreement():
     for index in range(QUICK_AGREEMENT_INSTANCES):
         cnf, label = _agreement_instance(index)
         _check_parallel_agreement(cnf, index, label)
+
+
+@pytest.mark.parametrize("seed", [0, 2, 4])
+def test_quick_unsat_proof_oracle_miter(seed):
+    """Even miter seeds are equivalence checks (UNSAT): every solving
+    path must emit a checkable refutation."""
+    _check_proof_emission(miter_cnf_instance(seed), seed,
+                          f"quick/proof_miter[{seed}]")
+
+
+@pytest.mark.parametrize("seed", [5, 8])
+def test_quick_unsat_proof_oracle_random(seed):
+    _check_proof_emission(random_cnf_instance(seed), seed,
+                          f"quick/proof_random[{seed}]")
 
 
 # --------------------------------------------------------------------- #
@@ -114,6 +172,14 @@ def test_fuzz_portfolio_cube_agreement_200():
     for index in range(AGREEMENT_INSTANCES):
         cnf, label = _agreement_instance(index)
         _check_parallel_agreement(cnf, index, label)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(40))
+def test_fuzz_unsat_proof_oracle(seed):
+    """Full proof-oracle sweep over the mixed instance stream."""
+    cnf, label = _agreement_instance(seed)
+    _check_proof_emission(cnf, seed, label.replace("agreement/", "proof/"))
 
 
 @pytest.mark.fuzz

@@ -34,6 +34,18 @@ class TestNewBenchmarks:
         # claim is recorded in the committed BENCH_perf.json counters.
         assert result.counters["speedup"] > 1.0
 
+    def test_portfolio_sharing_shares_and_proves(self):
+        result = run_benchmark(_benchmark("portfolio_sharing"), repeats=1)
+        # The last instance is the UNSAT miter raced with DRAT logging;
+        # its merged proof must pass the backward checker.
+        assert result.counters["proof_valid"] == 1.0
+        assert result.counters["sat"] == result.counters["instances"] - 1
+        assert result.counters["exported"] > 0
+        assert result.counters["imported"] > 0
+        # Timing claims (median >= the racing baseline, super-linear
+        # unsat_speedup) live in the committed BENCH_perf.json counters.
+        assert result.counters["speedup"] > 0
+
 
 def _payload(medians, mode="quick", counters=None):
     results = [

@@ -187,6 +187,44 @@ class TestErrorIsolation:
         assert second.runs[0].status == "TIMEOUT"
 
 
+class TestProofTasks:
+    """Proof-bearing tasks: fingerprint-invisible, cache-bypassing."""
+
+    def _miter_task(self, proof=None):
+        from repro.benchgen.lec import multiplier_commutativity_miter
+
+        return Task.from_aig(multiplier_commutativity_miter(2), "Baseline",
+                             time_limit=10.0, proof=proof)
+
+    def test_proof_excluded_from_fingerprint(self):
+        assert self._miter_task().fingerprint() == \
+            self._miter_task(proof="x.drat").fingerprint()
+
+    def test_proof_tasks_bypass_cache_both_ways(self, tmp_path):
+        """A cached record has no proof file to offer: the run executes,
+        writes a checkable proof, and is itself never persisted."""
+        from repro.cnf.tseitin import tseitin_encode
+        from repro.sat.proof import check_drat_file
+
+        path = tmp_path / "store.jsonl"
+        plain = self._miter_task()
+        BatchRunner(jobs=1, store=ResultStore(path)).run([plain])
+        assert len(ResultStore(path)) == 1
+
+        proof_file = tmp_path / "out.drat"
+        proved = self._miter_task(proof=str(proof_file))
+        report = BatchRunner(jobs=1, store=ResultStore(path)).run([proved])
+        assert report.cache_hits == 0 and report.executed == 1
+        assert report.runs[0].status == "UNSAT"
+        outcome = check_drat_file(tseitin_encode(proved.aig()),
+                                  str(proof_file))
+        assert outcome.valid, outcome.reason
+        assert len(ResultStore(path)) == 1  # the proof run is not cached
+        # The plain task still hits the original record.
+        replay = BatchRunner(jobs=1, store=ResultStore(path)).run([plain])
+        assert replay.cache_hits == 1
+
+
 class TestDeterminism:
     def test_parallel_results_identical_to_serial(self, tmp_path):
         """Same tasks, 1 worker vs many: every non-timing byte agrees."""

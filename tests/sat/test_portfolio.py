@@ -247,7 +247,8 @@ def test_all_workers_crashing_raises_instead_of_unknown(monkeypatch):
     import repro.sat.portfolio as portfolio_module
 
     def crashing_worker(index, cnf, config, time_limit, max_conflicts,
-                        max_decisions, assumptions, queue, trace_path=None):
+                        max_decisions, assumptions, queue, trace_path=None,
+                        lemma_path=None, endpoint=None):
         queue.put({"kind": "error", "index": index,
                    "error": "RuntimeError('boom')", "elapsed": 0.0})
 

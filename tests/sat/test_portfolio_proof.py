@@ -1,0 +1,128 @@
+"""Proof composition through the parallel paths: portfolio and cubes.
+
+Every UNSAT verdict of the process-parallel solvers must come with a DRAT
+proof that the built-in backward checker validates — including merged
+multi-worker proofs under clause sharing and the aggregated per-cube proofs
+of an all-UNSAT cube-and-conquer run.  Non-UNSAT outcomes (and UNSAT under
+assumptions, which has no formula-level refutation) must leave *no* proof
+file behind, even a stale one from an earlier run.
+"""
+
+import pytest
+
+from repro.benchgen.random_logic import pigeonhole_cnf
+from repro.cnf.cnf import Cnf
+from repro.sat.portfolio import solve_cube_and_conquer, solve_portfolio
+from repro.sat.proof import check_drat_file
+
+
+@pytest.fixture
+def unsat_cnf():
+    return pigeonhole_cnf(3)
+
+
+@pytest.fixture
+def sat_cnf():
+    cnf = Cnf(3)
+    cnf.add_clause([1, 2])
+    cnf.add_clause([-1, 3])
+    return cnf
+
+
+def _assert_valid(cnf, path):
+    outcome = check_drat_file(cnf, path)
+    assert outcome.valid, outcome.reason
+    return outcome
+
+
+class TestPortfolioProof:
+    def test_racing_unsat_produces_checkable_proof(self, unsat_cnf,
+                                                   tmp_path):
+        proof = str(tmp_path / "race.drat")
+        result = solve_portfolio(unsat_cnf, num_workers=2, seed=1,
+                                 proof=proof)
+        assert result.status == "UNSAT"
+        assert result.proof == proof
+        _assert_valid(unsat_cnf, proof)
+
+    def test_sharing_race_merged_proof_checks(self, unsat_cnf, tmp_path):
+        proof = str(tmp_path / "shared.drat")
+        result = solve_portfolio(unsat_cnf, num_workers=2, seed=1,
+                                 sharing=True, proof=proof)
+        assert result.status == "UNSAT"
+        assert result.proof == proof
+        _assert_valid(unsat_cnf, proof)
+
+    def test_single_worker_inline_path(self, unsat_cnf, tmp_path):
+        proof = str(tmp_path / "solo.drat")
+        result = solve_portfolio(unsat_cnf, num_workers=1, proof=proof)
+        assert result.status == "UNSAT"
+        assert result.proof == proof
+        _assert_valid(unsat_cnf, proof)
+
+    def test_sat_leaves_no_file_and_removes_stale(self, sat_cnf, tmp_path):
+        proof = tmp_path / "stale.drat"
+        proof.write_text("0\n")  # stale junk from "an earlier run"
+        result = solve_portfolio(sat_cnf, num_workers=2, seed=1,
+                                 proof=str(proof))
+        assert result.status == "SAT"
+        assert result.proof is None
+        assert not proof.exists()
+
+    def test_assumption_unsat_skips_proof(self, tmp_path):
+        cnf = Cnf(2)
+        cnf.add_clause([1])
+        cnf.add_clause([2])
+        proof = tmp_path / "assume.drat"
+        result = solve_portfolio(cnf, num_workers=2, seed=1,
+                                 assumptions=[-1], proof=str(proof))
+        assert result.status == "UNSAT"
+        assert result.result.core  # assumption-level failure
+        assert result.proof is None
+        assert not proof.exists()
+
+    def test_no_proof_requested_reports_none(self, unsat_cnf):
+        result = solve_portfolio(unsat_cnf, num_workers=2, seed=1)
+        assert result.proof is None
+        assert "proof" in result.as_dict()
+
+
+class TestCubeProof:
+    def test_all_unsat_cubes_aggregate_to_checkable_proof(self, unsat_cnf,
+                                                          tmp_path):
+        proof = str(tmp_path / "cube.drat")
+        result = solve_cube_and_conquer(unsat_cnf, cube_depth=2,
+                                        num_workers=2, seed=1, proof=proof)
+        assert result.status == "UNSAT"
+        assert result.proof == proof
+        _assert_valid(unsat_cnf, proof)
+
+    def test_deeper_split_still_checks(self, tmp_path):
+        cnf = pigeonhole_cnf(4)
+        proof = str(tmp_path / "cube3.drat")
+        result = solve_cube_and_conquer(cnf, cube_depth=3, num_workers=4,
+                                        seed=2, proof=proof)
+        assert result.status == "UNSAT"
+        assert result.proof == proof
+        _assert_valid(cnf, proof)
+
+    def test_sat_cube_leaves_no_file(self, sat_cnf, tmp_path):
+        proof = tmp_path / "cube-sat.drat"
+        result = solve_cube_and_conquer(sat_cnf, cube_depth=1,
+                                        num_workers=2, seed=1,
+                                        proof=str(proof))
+        assert result.status == "SAT"
+        assert result.proof is None
+        assert not proof.exists()
+
+    def test_assumption_unsat_cube_skips_proof(self, tmp_path):
+        cnf = pigeonhole_cnf(3)
+        cnf.add_clause([1])
+        proof = tmp_path / "cube-assume.drat"
+        result = solve_cube_and_conquer(cnf, cube_depth=1, num_workers=2,
+                                        seed=1, assumptions=[-1],
+                                        proof=str(proof))
+        assert result.status == "UNSAT"
+        if result.result.core:
+            assert result.proof is None
+            assert not proof.exists()

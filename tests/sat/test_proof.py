@@ -1,0 +1,376 @@
+"""Tests for DRAT proof emission, merging and the backward checker.
+
+The checker is a *soundness-critical* test oracle (it re-validates UNSAT
+verdicts in the fuzz layer), so beyond the happy path these tests attack it
+with hand-mutated proofs — dropped core lemmas, reordered RUP steps, bogus
+deletions, claims about satisfiable formulas — and a committed corpus of
+known-good and known-bad proof files under ``tests/sat/proofs/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.benchgen.random_logic import pigeonhole_cnf, random_cnf
+from repro.cnf.cnf import Cnf
+from repro.cnf.dimacs import parse_dimacs
+from repro.sat.configs import kissat_like
+from repro.sat.proof import (
+    DratWriter,
+    LemmaStream,
+    ProofError,
+    check_drat,
+    check_drat_file,
+    cube_prefix_clauses,
+    merge_lemma_streams,
+    parse_drat,
+    read_drat_file,
+    read_lemma_stream,
+    write_drat_file,
+)
+from repro.sat.solver import solve_cnf
+
+PROOFS_DIR = Path(__file__).parent / "proofs"
+
+
+@pytest.fixture
+def php3():
+    return pigeonhole_cnf(3)
+
+
+def _solver_proof(cnf, path) -> list:
+    """Solve ``cnf`` to UNSAT with proof logging; return the parsed proof."""
+    result = solve_cnf(cnf, config=kissat_like(), proof=str(path))
+    assert result.status == "UNSAT"
+    return read_drat_file(str(path))
+
+
+# --------------------------------------------------------------------- #
+# DRAT text format
+
+
+class TestDratFormat:
+    def test_parse_round_trip(self):
+        ops = [("a", (1, -2, 3)), ("d", (4, 5)), ("a", ())]
+        text = "1 -2 3 0\nd 4 5 0\n0\n"
+        assert parse_drat(text) == ops
+
+    def test_comments_and_blank_lines_skipped(self):
+        assert parse_drat("c hello\n\n1 0\nc bye\n0\n") == \
+            [("a", (1,)), ("a", ())]
+
+    @pytest.mark.parametrize("text", [
+        "1 2",            # missing 0 terminator
+        "1 0 2 0",        # literal 0 inside the clause
+        "one 0",          # not a number
+    ])
+    def test_malformed_lines_rejected(self, text):
+        with pytest.raises(ProofError):
+            parse_drat(text)
+
+    def test_write_drat_file_ensure_empty(self, tmp_path):
+        path = str(tmp_path / "p.drat")
+        count = write_drat_file(path, [(1, 2), (-1,)], ensure_empty=True)
+        assert count == 3
+        assert read_drat_file(path)[-1] == ("a", ())
+
+    def test_write_drat_file_keeps_existing_empty(self, tmp_path):
+        path = str(tmp_path / "p.drat")
+        count = write_drat_file(path, [(1,), ()], ensure_empty=True)
+        assert count == 2
+
+
+# --------------------------------------------------------------------- #
+# Emission from the solver
+
+
+class TestEmission:
+    def test_unsat_solve_writes_checkable_proof(self, php3, tmp_path):
+        path = tmp_path / "php3.drat"
+        ops = _solver_proof(php3, path)
+        assert ("a", ()) in ops
+        outcome = check_drat_file(php3, str(path))
+        assert outcome.valid, outcome.reason
+        assert outcome.lemmas >= 1
+        assert 1 <= outcome.checked <= outcome.lemmas
+
+    def test_sat_solve_leaves_no_proof_file(self, tmp_path):
+        cnf = Cnf(2)
+        cnf.add_clause([1, 2])
+        path = tmp_path / "sat.drat"
+        result = solve_cnf(cnf, proof=str(path))
+        assert result.status == "SAT"
+        assert not path.exists()
+
+    def test_budgeted_unknown_leaves_no_proof_file(self, php3, tmp_path):
+        path = tmp_path / "partial.drat"
+        result = solve_cnf(php3, config=kissat_like(), proof=str(path),
+                           max_conflicts=1)
+        assert result.status == "UNKNOWN"
+        assert not path.exists()
+
+    def test_assumption_unsat_leaves_no_proof_file(self, tmp_path):
+        cnf = Cnf(2)
+        cnf.add_clause([1])
+        cnf.add_clause([2])
+        path = tmp_path / "assume.drat"
+        result = solve_cnf(cnf, proof=str(path), assumptions=[-1])
+        assert result.status == "UNSAT"
+        assert result.core  # assumption-level, not formula-level
+        assert not path.exists()
+
+    def test_drat_writer_counts_and_context_manager(self, tmp_path):
+        path = str(tmp_path / "w.drat")
+        with DratWriter(path) as writer:
+            writer.add_clause((1, 2))
+            writer.delete_clause((1, 2))
+            writer.add_clause(())
+        assert writer.num_added == 2
+        assert writer.num_deleted == 1
+        assert read_drat_file(path) == \
+            [("a", (1, 2)), ("d", (1, 2)), ("a", ())]
+
+    def test_drat_writer_unwritable_path_raises(self, tmp_path):
+        with pytest.raises(ProofError):
+            DratWriter(str(tmp_path / "missing-dir" / "p.drat"))
+
+
+# --------------------------------------------------------------------- #
+# Checker soundness: hand-mutated proofs must be rejected
+
+
+class TestCheckerSoundness:
+    def test_valid_proof_accepted_core_and_all(self, php3, tmp_path):
+        ops = _solver_proof(php3, tmp_path / "p.drat")
+        assert check_drat(php3, ops).valid
+        assert check_drat(php3, ops, check_all=True).valid
+
+    def test_dropped_core_lemma_rejected(self, php3, tmp_path):
+        ops = _solver_proof(php3, tmp_path / "p.drat")
+        additions = [i for i, (op, clause) in enumerate(ops)
+                     if op == "a" and clause]
+        broke = False
+        for index in reversed(additions):
+            mutated = ops[:index] + ops[index + 1:]
+            try:
+                outcome = check_drat(php3, mutated)
+            except ProofError:
+                continue
+            if not outcome.valid:
+                broke = True
+                break
+        assert broke, "no single dropped lemma was load-bearing"
+
+    def test_reordered_rup_step_rejected(self, php3, tmp_path):
+        ops = _solver_proof(php3, tmp_path / "p.drat")
+        additions = [i for i, (op, clause) in enumerate(ops)
+                     if op == "a" and clause]
+        broke = False
+        for index in reversed(additions):
+            # Hoist a late lemma before the antecedents it was derived from.
+            mutated = [ops[index]] + ops[:index] + ops[index + 1:]
+            outcome = check_drat(php3, mutated)
+            if not outcome.valid:
+                broke = True
+                break
+        assert broke, "no reordering broke the proof"
+
+    def test_bogus_deletion_rejected(self, php3, tmp_path):
+        ops = _solver_proof(php3, tmp_path / "p.drat")
+        mutated = [("d", (1, 2, 4))] + ops  # no such clause in PHP(4,3)
+        outcome = check_drat(php3, mutated)
+        assert not outcome.valid
+        assert "deletion" in outcome.reason
+
+    def test_missing_empty_clause_rejected(self, php3, tmp_path):
+        ops = _solver_proof(php3, tmp_path / "p.drat")
+        mutated = [(op, clause) for op, clause in ops if clause]
+        outcome = check_drat(php3, mutated)
+        assert not outcome.valid
+        assert "empty clause" in outcome.reason
+
+    def test_unsat_claim_about_sat_formula_rejected(self):
+        cnf = Cnf(3)
+        cnf.add_clause([1, 2, 3])
+        assert not check_drat(cnf, [("a", ())]).valid
+
+    def test_unjustified_lemma_rejected(self):
+        # (1) is neither RUP nor RAT here: resolving with (-1 2) needs (−2),
+        # which nothing propagates.
+        cnf = Cnf(2)
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([1, 2])
+        outcome = check_drat(cnf, [("a", (1,)), ("a", (-2,)), ("a", ())])
+        assert not outcome.valid
+
+    def test_rat_lemma_accepted(self):
+        # (1) is not RUP (assuming -1 propagates nothing) but is RAT on its
+        # first literal: no clause contains -1, so the check is vacuous.
+        # check_all forces the non-core lemma to actually be verified.
+        cnf = Cnf(3)
+        cnf.add_clause([2, 3])
+        cnf.add_clause([2, -3])
+        cnf.add_clause([-2, 3])
+        cnf.add_clause([-2, -3])
+        proof = [("a", (1,)), ("a", (3,)), ("a", ())]
+        outcome = check_drat(cnf, proof, check_all=True)
+        assert outcome.valid, outcome.reason
+        assert outcome.checked == 3
+
+    def test_deletion_reliance_rejected(self, php3, tmp_path):
+        """Deleting the original clauses the refutation needs breaks it."""
+        ops = _solver_proof(php3, tmp_path / "p.drat")
+        clauses = [tuple(clause) for clause in php3.clauses]
+        all_deleted = [("d", clause) for clause in clauses] + ops
+        assert not check_drat(php3, all_deleted).valid
+
+
+# --------------------------------------------------------------------- #
+# Lemma streams and merging
+
+
+class TestLemmaStreams:
+    def test_lamport_stamping_and_observe(self):
+        stream = LemmaStream(worker=1)
+        stream.add_clause((1,))
+        assert stream.lemmas == [(1, (1,))]
+        stream.observe(10)
+        stream.add_clause((2,))
+        assert stream.lemmas[-1] == (11, (2,))
+        stream.observe(5)  # never moves backwards
+        assert stream.clock == 11
+
+    def test_file_stream_round_trip(self, tmp_path):
+        path = str(tmp_path / "w0.lemmas")
+        with LemmaStream(path, worker=0) as stream:
+            stream.add_clause((1, -2))
+            stream.observe(7)
+            stream.add_clause(())
+        assert read_lemma_stream(path) == [(1, (1, -2)), (8, ())]
+
+    def test_file_stream_flushes_line_by_line(self, tmp_path):
+        """Kill-safety: each lemma is on disk before the next solver step."""
+        path = str(tmp_path / "w0.lemmas")
+        stream = LemmaStream(path, worker=0)
+        stream.add_clause((3,))
+        # Not closed — simulates a SIGKILLed worker.  The line must be
+        # readable already (the stream is line-buffered).
+        assert read_lemma_stream(path) == [(1, (3,))]
+        stream.close()
+
+    def test_merge_orders_by_timestamp_then_worker(self):
+        first = [(1, (1,)), (4, (4,))]
+        second = [(1, (10,)), (2, (2,))]
+        merged = merge_lemma_streams([first, second])
+        assert merged == [(1,), (10,), (2,), (4,)]
+
+    def test_deletions_are_dropped_by_streams(self):
+        stream = LemmaStream()
+        stream.add_clause((1,))
+        stream.delete_clause((1,))
+        assert stream.lemmas == [(1, (1,))]
+
+    def test_read_lemma_stream_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.lemmas"
+        path.write_text("1 2 3\n")  # not 0-terminated
+        with pytest.raises(ProofError):
+            read_lemma_stream(str(path))
+
+
+# --------------------------------------------------------------------- #
+# Cube-and-conquer glue lemmas
+
+
+class TestCubePrefixClauses:
+    def test_depth_two_tree_shape(self):
+        cubes = [(-1, -2), (-1, 2), (1, -2), (1, 2)]
+        clauses = cube_prefix_clauses(cubes)
+        # Two internal prefixes at depth 1, then the empty clause (root).
+        assert clauses == [(-1,), (1,), ()]
+
+    def test_depth_zero_and_one(self):
+        assert cube_prefix_clauses([]) == [()]
+        assert cube_prefix_clauses([(-1,), (1,)]) == [()]
+
+    def test_incomplete_tree_rejected(self):
+        with pytest.raises(ProofError):
+            cube_prefix_clauses([(-1, -2), (1, 2)])
+
+    def test_mixed_depth_rejected(self):
+        with pytest.raises(ProofError):
+            cube_prefix_clauses([(-1,), (1, 2)])
+
+    def test_glue_closes_a_real_cube_run(self):
+        """Negated cores + prefix clauses form a checkable refutation.
+
+        Mirrors the cube-and-conquer worker: each cube is refuted under
+        assumptions with a proof stream attached, the negated failed core
+        is logged as the cube's closing lemma, and the prefix-tree glue
+        clauses finish the merged proof.
+        """
+        from repro.sat.solver import CdclSolver
+
+        cnf = pigeonhole_cnf(3)
+        cubes = [(-1, -2), (-1, 2), (1, -2), (1, 2)]
+        streams = []
+        for index, cube in enumerate(cubes):
+            stream = LemmaStream(worker=index)
+            solver = CdclSolver(cnf, config=kissat_like())
+            solver.set_proof(stream)
+            result = solver.solve(assumptions=list(cube))
+            assert result.status == "UNSAT"
+            stream.add_clause(tuple(-lit for lit in result.core))
+            streams.append(stream)
+        merged = merge_lemma_streams([s.lemmas for s in streams])
+        proof = [("a", clause) for clause in merged]
+        proof += [("a", clause) for clause in cube_prefix_clauses(cubes)]
+        outcome = check_drat(cnf, proof)
+        assert outcome.valid, outcome.reason
+
+
+# --------------------------------------------------------------------- #
+# Committed corpus: every good proof verifies, every bad one is rejected
+
+
+def _corpus_cases():
+    cases = []
+    for cnf_path in sorted(PROOFS_DIR.glob("*.cnf")):
+        stem = cnf_path.stem
+        for proof_path in sorted(PROOFS_DIR.glob(f"{stem}.*.drat")):
+            kind = proof_path.name[len(stem) + 1:].split("-")[0] \
+                .split(".")[0]
+            cases.append(pytest.param(cnf_path, proof_path, kind == "good",
+                                      id=proof_path.name))
+    return cases
+
+
+class TestProofCorpus:
+    def test_corpus_is_present_and_two_sided(self):
+        cases = _corpus_cases()
+        assert any(case.values[2] for case in cases)
+        assert any(not case.values[2] for case in cases)
+
+    @pytest.mark.parametrize("cnf_path,proof_path,expect_valid",
+                             _corpus_cases())
+    def test_corpus_file(self, cnf_path, proof_path, expect_valid):
+        cnf = parse_dimacs(cnf_path.read_text(), strict=False)
+        outcome = check_drat_file(cnf, str(proof_path))
+        assert outcome.valid == expect_valid, \
+            f"{proof_path.name}: {outcome.reason or 'verified'}"
+
+
+# --------------------------------------------------------------------- #
+# Randomised sanity: solver proofs over a small seeded population
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_unsat_proofs_check(seed, tmp_path):
+    cnf = random_cnf(12, 70, seed, min_width=2, max_width=3)
+    path = tmp_path / "r.drat"
+    result = solve_cnf(cnf, config=kissat_like(), proof=str(path))
+    if result.status != "UNSAT":
+        assert not path.exists()
+        return
+    outcome = check_drat_file(cnf, str(path))
+    assert outcome.valid, f"seed {seed}: {outcome.reason}"

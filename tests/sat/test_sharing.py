@@ -1,0 +1,328 @@
+"""Tests for clause sharing: export filters, bus semantics, edge cases.
+
+The multiprocess :class:`ClauseBus` is exercised both in-process (through a
+shim context whose queues are plain ``queue.Queue``, so pump timing is
+deterministic) and end-to-end through ``solve_portfolio(sharing=True)``,
+including the chaos scenario where a worker is SIGKILLed mid-export.
+"""
+
+import multiprocessing
+import queue
+
+import pytest
+
+from repro.benchgen.random_logic import pigeonhole_cnf
+from repro.cnf.cnf import Cnf
+from repro.errors import SolverError
+from repro.resilience.chaos import CHAOS_ENV
+from repro.sat.configs import cadical_like, kissat_like
+from repro.sat.portfolio import solve_portfolio
+from repro.sat.proof import check_drat_file
+from repro.sat.sharing import (
+    ClauseBus,
+    SharingConfig,
+    interleaved_sharing_race,
+)
+from repro.sat.solver import CdclSolver, ClauseExportHook, solve_cnf
+
+from tests.resilience.helpers import harder_cnf
+
+_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
+
+needs_fork = pytest.mark.skipif(
+    not _FORK, reason="portfolio chaos tests need the fork start method")
+
+
+class _InlineQueue(queue.Queue):
+    """``queue.Queue`` with the multiprocessing-queue lifecycle methods."""
+
+    def close(self) -> None:
+        pass
+
+    def cancel_join_thread(self) -> None:
+        pass
+
+
+class _InlineContext:
+    """A multiprocessing-context stand-in backed by synchronous queues."""
+
+    @staticmethod
+    def Queue(maxsize: int = 0):
+        return _InlineQueue(maxsize=maxsize)
+
+
+# --------------------------------------------------------------------- #
+# Configuration and export filtering
+
+
+class TestSharingConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_len": 0},
+        {"max_lbd": 0},
+        {"import_queue_size": 0},
+        {"pump_batch": 0},
+        {"export_budget": -1},
+        {"import_max_len": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(SolverError):
+            SharingConfig(**kwargs)
+
+
+class TestClauseExportHook:
+    def test_filters_long_and_high_lbd_clauses(self):
+        sunk = []
+        hook = ClauseExportHook(lambda c, l: sunk.append(c),
+                                max_len=3, max_lbd=2)
+        assert hook((1, 2), 1)
+        assert not hook((1, 2, 3, 4), 1)   # too long
+        assert not hook((1, 2), 5)         # too much glue
+        assert sunk == [(1, 2)]
+        assert hook.exported == 1
+        assert hook.filtered == 2
+
+    def test_budget_caps_total_exports(self):
+        hook = ClauseExportHook(lambda c, l: None, budget=2)
+        assert hook((1,), 1) and hook((2,), 1)
+        assert not hook((3,), 1)
+        assert hook.exported == 2
+
+
+# --------------------------------------------------------------------- #
+# ClauseBus semantics (deterministic in-process queues)
+
+
+class TestClauseBus:
+    def _bus(self, workers=3, **kwargs):
+        return ClauseBus(workers, SharingConfig(**kwargs), _InlineContext())
+
+    def test_needs_two_workers(self):
+        with pytest.raises(SolverError):
+            ClauseBus(1, SharingConfig(), _InlineContext())
+
+    def test_broadcasts_to_all_but_source(self):
+        bus = self._bus(3)
+        bus.endpoint(0)._export((1, 2), 1)
+        assert bus.pump() == 1
+        assert bus.counters() == \
+            {"exported": 1, "imported": 2, "filtered": 0}
+        assert bus.endpoint(1)._drain() == [((1, 2), 1)]
+        assert bus.endpoint(2)._drain() == [((1, 2), 1)]
+        assert bus.endpoint(0)._drain() == []
+
+    def test_duplicates_filtered_globally(self):
+        bus = self._bus(2)
+        bus.endpoint(0)._export((1, 2), 1)
+        bus.endpoint(1)._export((2, 1), 2)  # same clause, other worker
+        bus.pump()
+        counters = bus.counters()
+        assert counters["exported"] == 2
+        assert counters["filtered"] == 1
+        assert counters["imported"] == 1
+
+    def test_import_overflow_drops_not_blocks(self):
+        bus = self._bus(2, import_queue_size=1)
+        bus.endpoint(0)._export((1,), 1)
+        bus.endpoint(0)._export((2,), 1)
+        bus.pump()
+        counters = bus.counters()
+        assert counters["imported"] == 1
+        assert counters["filtered"] == 1  # overflow drop
+
+    def test_pump_batch_bounds_one_pump(self):
+        bus = self._bus(2, pump_batch=1)
+        bus.endpoint(0)._export((1,), 1)
+        bus.endpoint(0)._export((2,), 1)
+        assert bus.pump() == 1
+        assert bus.pump() == 1
+        assert bus.pump() == 0
+
+    def test_close_after_traffic(self):
+        bus = self._bus(2)
+        bus.endpoint(0)._export((1,), 1)
+        bus.close()
+
+
+# --------------------------------------------------------------------- #
+# Import edge cases at the restart boundary (level-0 simplification)
+
+
+def _import_probe(cnf, imports, max_len: int = 32):
+    """A solver whose import source hands out ``imports`` exactly once.
+
+    Imports are drained at the start of :meth:`CdclSolver.solve` (and at
+    every restart boundary), with the trail at level 0 — so the outcome of
+    each edge case below is deterministic, not restart-timing dependent.
+    """
+    solver = CdclSolver(cnf, config=kissat_like())
+    pending = [list(imports)]
+    solver.set_import_source(lambda: pending.pop() if pending else [],
+                             max_len=max_len)
+    return solver
+
+
+class TestImportEdgeCases:
+    def test_clause_satisfied_at_level_zero_is_dropped(self):
+        cnf = pigeonhole_cnf(3)
+        cnf.add_clause([1])  # level-0 unit: pigeon 0 sits in hole 0
+        solver = _import_probe(cnf, [((1, 4), 1)])
+        result = solver.solve()
+        assert result.status == "UNSAT"
+        assert solver.stats.import_filtered >= 1
+        assert solver.stats.imported_clauses == 0
+
+    def test_clause_falsified_at_level_zero_concludes_unsat(self):
+        # Units 1 and 5 hold at level 0; the imported (-1 -5) simplifies to
+        # the empty clause.  An import is a consequence of the formula, so
+        # the solver concludes UNSAT on the spot — before any search.
+        cnf = pigeonhole_cnf(3)
+        cnf.add_clause([1])
+        cnf.add_clause([5])
+        solver = _import_probe(cnf, [((-1, -5), 1)])
+        result = solver.solve()
+        assert result.status == "UNSAT"
+        assert result.core == []
+        assert solver.stats.conflicts == 0  # the import alone concluded it
+
+    def test_duplicate_imports_filtered(self):
+        cnf = pigeonhole_cnf(3)
+        solver = _import_probe(cnf, [((1, 4), 2), ((4, 1), 2)])
+        result = solver.solve()
+        assert result.status == "UNSAT"
+        assert solver.stats.imported_clauses == 1
+        assert solver.stats.import_filtered == 1
+
+    def test_oversized_imports_filtered(self):
+        cnf = pigeonhole_cnf(3)
+        solver = _import_probe(cnf, [(tuple(range(1, 13)), 2)], max_len=4)
+        result = solver.solve()
+        assert result.status == "UNSAT"
+        assert solver.stats.import_filtered == 1
+        assert solver.stats.imported_clauses == 0
+
+    def test_unit_import_enqueued_at_level_zero(self):
+        cnf = pigeonhole_cnf(3)
+        solver = _import_probe(cnf, [((1,), 1)])
+        result = solver.solve()
+        assert result.status == "UNSAT"
+        assert solver.stats.imported_clauses == 1
+
+    def test_tautological_import_filtered(self):
+        cnf = pigeonhole_cnf(3)
+        solver = _import_probe(cnf, [((1, -1), 1)])
+        result = solver.solve()
+        assert result.status == "UNSAT"
+        assert solver.stats.import_filtered == 1
+        assert solver.stats.imported_clauses == 0
+
+
+# --------------------------------------------------------------------- #
+# Deterministic interleaved sharing race
+
+
+class TestInterleavedRace:
+    def test_unsat_race_shares_and_proves(self, tmp_path):
+        proof = str(tmp_path / "race.drat")
+        cnf = pigeonhole_cnf(4)
+        race = interleaved_sharing_race(
+            cnf, [kissat_like(), cadical_like()], slice_conflicts=64,
+            proof=proof)
+        assert race.status == "UNSAT"
+        assert race.sharing["exported"] > 0
+        assert race.sharing["imported"] > 0
+        assert race.proof == proof
+        outcome = check_drat_file(cnf, proof)
+        assert outcome.valid, outcome.reason
+
+    def test_race_is_deterministic(self):
+        cnf = pigeonhole_cnf(3)
+        configs = [kissat_like(), cadical_like()]
+        first = interleaved_sharing_race(cnf, configs, slice_conflicts=32)
+        second = interleaved_sharing_race(cnf, configs, slice_conflicts=32)
+        assert first.winner == second.winner
+        assert first.worker_conflicts == second.worker_conflicts
+        assert first.sharing == second.sharing
+
+    def test_round_budget_returns_unknown(self):
+        race = interleaved_sharing_race(
+            pigeonhole_cnf(4), [kissat_like()], slice_conflicts=1,
+            max_rounds=2)
+        assert race.status == "UNKNOWN"
+        assert race.winner is None
+        assert race.proof is None
+
+    def test_rejects_empty_configs(self):
+        with pytest.raises(SolverError):
+            interleaved_sharing_race(pigeonhole_cnf(3), [])
+
+
+# --------------------------------------------------------------------- #
+# Portfolio integration: sharing on/off, chaos
+
+
+class TestPortfolioSharing:
+    def test_sharing_off_matches_plain_portfolio_result(self):
+        """sharing=None must leave the pre-sharing behavior untouched."""
+        cnf = pigeonhole_cnf(4)
+        plain = solve_portfolio(cnf, num_workers=2, seed=7)
+        assert plain.status == "UNSAT"
+        assert plain.sharing is None
+        assert plain.proof is None
+
+    def test_hooks_off_solver_stats_identical(self):
+        """A solver with no hooks equals one with inert sharing plumbing.
+
+        The sharing-disabled portfolio path installs *nothing* on the
+        solver; this pins the stronger property that even an installed
+        import source returning no clauses leaves the search untouched.
+        """
+        cnf = pigeonhole_cnf(4)
+        bare = CdclSolver(cnf, config=kissat_like())
+        bare_result = bare.solve()
+
+        wired = CdclSolver(cnf, config=kissat_like())
+        wired.set_import_source(lambda: [])
+        wired.set_export_hook(ClauseExportHook(lambda c, l: None))
+        wired_result = wired.solve()
+
+        assert bare_result.status == wired_result.status == "UNSAT"
+        assert bare.stats.conflicts == wired.stats.conflicts
+        assert bare.stats.decisions == wired.stats.decisions
+        assert bare.stats.propagations == wired.stats.propagations
+
+    def test_sharing_race_returns_counters(self):
+        cnf = pigeonhole_cnf(4)
+        result = solve_portfolio(cnf, num_workers=2, seed=7, sharing=True)
+        assert result.status == "UNSAT"
+        assert result.sharing is not None
+        assert set(result.sharing) == {"exported", "imported", "filtered"}
+
+    @needs_fork
+    def test_worker_death_mid_export_race_still_concludes(self, monkeypatch,
+                                                          tmp_path):
+        """A SIGKILLed worker (PR 7 chaos hook) cannot corrupt the race:
+        the verdict lands and the merged proof still checks — the victim's
+        line-buffered lemma stream never ends mid-antecedent."""
+        monkeypatch.setenv(CHAOS_ENV, "kill_worker=0@50")
+        proof = str(tmp_path / "chaos.drat")
+        cnf = harder_cnf()
+        result = solve_portfolio(cnf, num_workers=2, seed=3,
+                                 base_config=kissat_like(), sharing=True,
+                                 proof=proof)
+        assert result.status == "UNSAT"
+        dead = [w for w in result.workers if w.status == "ERROR"]
+        assert len(dead) == 1 and dead[0].index == 0
+        assert result.proof == proof
+        outcome = check_drat_file(cnf, proof)
+        assert outcome.valid, outcome.reason
+
+    @pytest.mark.chaos
+    @needs_fork
+    def test_sharing_survives_half_killed_portfolio(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "kill_worker=0|1@50")
+        result = solve_portfolio(harder_cnf(), num_workers=4, seed=3,
+                                 base_config=kissat_like(), sharing=True)
+        assert result.status == "UNSAT"
+        statuses = {w.index: w.status for w in result.workers}
+        assert statuses[0] == "ERROR" and statuses[1] == "ERROR"
+        assert result.sharing is not None
