@@ -654,6 +654,57 @@ def _add_solve_flags(parser: argparse.ArgumentParser) -> None:
     _add_obs_flags(parser)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the solve-as-a-service daemon until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import signal as _signal
+    from pathlib import Path
+
+    from repro.runner.store import open_store
+    from repro.server.http import HttpServer
+    from repro.server.service import SolveService
+
+    async def _serve() -> int:
+        store = open_store(args.store) if args.store else None
+        service = SolveService(
+            jobs=args.jobs, max_queue=args.max_queue, shed_at=args.shed_at,
+            quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+            time_limit=args.time_limit, hard_timeout=args.hard_timeout,
+            mem_limit_mb=args.mem_limit, store=store)
+        await service.start()
+        http = HttpServer(service, args.host, args.port,
+                          header_timeout=args.header_timeout)
+        await http.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        url = f"http://{http.host}:{http.port}"
+        if not args.quiet:
+            print(f"c serving on {url} ({service.jobs} workers, "
+                  f"queue {service.max_queue})")
+            sys.stdout.flush()
+        if args.ready_file:
+            # CI and scripts poll this file to learn the bound address.
+            Path(args.ready_file).write_text(url + "\n", encoding="utf-8")
+        try:
+            await stop.wait()
+        finally:
+            if not args.quiet:
+                print("c draining ...")
+                sys.stdout.flush()
+            await http.stop()
+            await service.shutdown(grace=args.grace)
+        if not args.quiet:
+            print("c drained cleanly")
+        return 0
+
+    return asyncio.run(_serve())
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="write a JSONL execution trace to FILE (inspect "
@@ -822,6 +873,56 @@ def build_parser() -> argparse.ArgumentParser:
                              help="suppress the 'c' comment lines")
     _add_obs_flags(proof_check)
     proof_check.set_defaults(handler=cmd_proof)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the solve-as-a-service HTTP daemon",
+        description="Serve solve/preprocess/sweep jobs over asyncio "
+                    "HTTP/JSON (see docs/server.md): bounded admission "
+                    "queue with backpressure, per-client quotas, "
+                    "fingerprint dedup/memoization, supervised worker "
+                    "pool, graceful SIGTERM drain.")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks a free one; default: 8080)")
+    serve.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="worker processes (default: 2)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission queue + in-flight bound "
+                            "(default: 64)")
+    serve.add_argument("--shed-at", type=float, default=0.75,
+                       metavar="FRACTION",
+                       help="occupancy fraction where new work is shed "
+                            "with 429 (default: 0.75)")
+    serve.add_argument("--quota-rate", type=float, default=50.0,
+                       help="per-client token-bucket refill per second "
+                            "(default: 50)")
+    serve.add_argument("--quota-burst", type=float, default=100.0,
+                       help="per-client token-bucket burst (default: 100)")
+    serve.add_argument("--time-limit", type=float, default=60.0,
+                       help="default per-job solver time limit in seconds "
+                            "(default: 60)")
+    serve.add_argument("--hard-timeout", type=float, default=None,
+                       help="default per-job wall-clock kill budget "
+                            "(default: derived from the time limit)")
+    serve.add_argument("--mem-limit", type=float, default=None, metavar="MB",
+                       help="per-job memory watchdog budget in MB")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="result store for cross-request memoization: "
+                            "a directory (sharded; a legacy single file "
+                            "at the path is migrated) or a *.jsonl file")
+    serve.add_argument("--grace", type=float, default=10.0,
+                       help="drain budget in seconds for in-flight jobs "
+                            "on shutdown (default: 10)")
+    serve.add_argument("--header-timeout", type=float, default=10.0,
+                       help="seconds a client may take to send its "
+                            "request head (slow-loris guard, default: 10)")
+    serve.add_argument("--ready-file", default=None, metavar="PATH",
+                       help="write the bound URL to PATH once listening "
+                            "(for scripts/CI)")
+    serve.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress the 'c' comment lines")
+    _add_obs_flags(serve)
+    serve.set_defaults(handler=cmd_serve)
 
     # ``bench`` is dispatched before parsing (argparse.REMAINDER cannot
     # forward leading options); this stub only makes it appear in --help.

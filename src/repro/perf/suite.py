@@ -39,6 +39,7 @@ from repro.sat.portfolio import solve_cube_and_conquer, solve_portfolio
 from repro.sat.proof import check_drat_file
 from repro.sat.sharing import interleaved_sharing_race
 from repro.sat.solver import CdclSolver, solve_cnf
+from repro.server.loadgen import build_workload
 from repro.synthesis.cuts import enumerate_cuts
 
 
@@ -126,6 +127,54 @@ def _incremental_setup(num_vars: int, num_queries: int,
                 suffix.append(var if rng.random() < 0.5 else -var)
         queries.append(prefix + suffix)
     return cnf, queries
+
+
+def _server_throughput_batch(workload: list[dict]) -> dict[str, float]:
+    """Sustained request throughput of the solve server, measured outside.
+
+    Each repeat boots a fresh in-process server (2 pool workers, sharded
+    store in a temp dir, quotas open) and drives the seeded mixed workload
+    through real sockets with the loadgen client.  The store starts cold
+    every repeat, so ``dedup_hits`` counts in-run duplicate traffic — the
+    memo path under load — and the timings measure service + solve, not a
+    warm cache.
+    """
+    import asyncio
+
+    from repro.runner.store import ShardedResultStore
+    from repro.server.http import HttpServer
+    from repro.server.loadgen import run_load
+    from repro.server.service import SolveService
+
+    concurrency = max(8, min(16, len(workload) // 6))
+
+    async def _drive():
+        with tempfile.TemporaryDirectory(prefix="repro-perf-server-") as tmp:
+            service = SolveService(
+                jobs=2, max_queue=max(64, len(workload)),
+                quota_rate=100_000.0, quota_burst=100_000.0,
+                store=ShardedResultStore(os.path.join(tmp, "store")))
+            await service.start()
+            http = HttpServer(service)
+            await http.start()
+            try:
+                return await run_load(http.host, http.port, workload,
+                                      concurrency=concurrency,
+                                      sync_wait=30.0)
+            finally:
+                await http.stop()
+                await service.shutdown(grace=30.0)
+
+    report = asyncio.run(_drive())
+    return {
+        "requests": report.requests,
+        "ok": report.ok,
+        "errors": report.errors,
+        "rps": round(report.rps, 1),
+        "p50_ms": round(report.p50_ms, 2),
+        "p99_ms": round(report.p99_ms, 2),
+        "dedup_hits": report.dedup_hits,
+    }
 
 
 def _obs_overhead_batch(cnfs: list[Cnf]) -> dict[str, float]:
@@ -397,6 +446,7 @@ def default_suite(quick: bool = False) -> list[Benchmark]:
     cube_split = 5 if quick else 7
     obs_vars = 80 if quick else 100
     obs_seeds = range(2) if quick else range(4)
+    server_requests = 24 if quick else 96
 
     benchmarks = [
         Benchmark(
@@ -503,6 +553,18 @@ def default_suite(quick: bool = False) -> list[Benchmark]:
                                       min_width=3, max_width=3)
                            for seed in obs_seeds],
             run=_obs_overhead_batch,
+        ),
+        Benchmark(
+            name="server_throughput",
+            category="solver",
+            description=(f"solve-as-a-service sustained load: "
+                         f"{server_requests} mixed solve/preprocess/sweep "
+                         f"requests (35% duplicates) through the asyncio "
+                         f"HTTP server onto a 2-worker pool with a cold "
+                         f"sharded store; counters record req/s, p50/p99 "
+                         f"latency and dedup hits"),
+            setup=lambda: build_workload(server_requests, seed=5),
+            run=_server_throughput_batch,
         ),
         Benchmark(
             name="cuts_enumerate",

@@ -20,6 +20,12 @@ Spec syntax (comma-separated ``key=value``)::
     REPRO_CHAOS="backend_missing=1"       # subprocess backend: binary vanishes
     REPRO_CHAOS="backend_garbage=1"       # subprocess backend: garbage output
     REPRO_CHAOS="delay=0.05"              # sleep at every task start
+    REPRO_CHAOS="drop_client=2"           # server: abort the connection of
+                                          #   the first 2 responses mid-write
+    REPRO_CHAOS="slow_client=2"           # loadgen: first 2 requests trickle
+                                          #   their bytes (slow-loris client)
+    REPRO_CHAOS="reject_spawn=2"          # server: first 2 pool submissions
+                                          #   raise OSError
     REPRO_CHAOS="kill_task=ph6,flags=DIR" # one-shot: each fault fires once,
                                           #   coordinated through DIR across
                                           #   processes (crash→retry→succeed)
@@ -73,6 +79,9 @@ class ChaosSpec:
     backend_missing: bool = False        # subprocess backend binary "vanishes"
     backend_garbage: bool = False        # subprocess backend prints garbage
     delay_s: float = 0.0                 # sleep injected at every task start
+    drop_client: int = 0                 # server aborts the first N responses
+    slow_client: int = 0                 # loadgen trickles the first N requests
+    reject_spawn: int = 0                # fail the first N pool submissions
     flags_dir: str | None = None         # set => faults fire once, cross-process
     seed: int = 0
 
@@ -95,8 +104,9 @@ def parse_spec(text: str) -> ChaosSpec:
                 values["kill_after_conflicts"] = int(after)
         elif key in ("kill_task", "oom_task", "fail_task"):
             values[key] = raw
-        elif key == "store_errors":
-            values["store_errors"] = int(raw)
+        elif key in ("store_errors", "drop_client", "slow_client",
+                     "reject_spawn"):
+            values[key] = int(raw)
         elif key in ("backend_missing", "backend_garbage"):
             values[key] = raw not in ("", "0", "false", "no")
         elif key == "delay":
@@ -120,8 +130,11 @@ def format_spec(spec: ChaosSpec) -> str:
         value = getattr(spec, key)
         if value is not None:
             parts.append(f"{key}={value}")
-    if spec.store_errors:
-        parts.append(f"store_errors={spec.store_errors}")
+    for key in ("store_errors", "drop_client", "slow_client",
+                "reject_spawn"):
+        value = getattr(spec, key)
+        if value:
+            parts.append(f"{key}={value}")
     if spec.backend_missing:
         parts.append("backend_missing=1")
     if spec.backend_garbage:
@@ -151,6 +164,9 @@ class ChaosMonkey:
             spec = parse_spec(spec)
         self.spec = spec
         self._store_errors_left = spec.store_errors
+        self._drop_client_left = spec.drop_client
+        self._slow_client_left = spec.slow_client
+        self._reject_spawn_left = spec.reject_spawn
 
     # ------------------------------------------------------------------ #
     # One-shot coordination
@@ -194,6 +210,29 @@ class ChaosMonkey:
         if self._store_errors_left > 0:
             self._store_errors_left -= 1
             raise OSError(f"chaos: injected store append failure ({path})")
+
+    def take_drop_client(self) -> bool:
+        """Called by the HTTP server just before writing a response;
+        True means "abort this client's connection instead"."""
+        if self._drop_client_left > 0:
+            self._drop_client_left -= 1
+            logger.warning("chaos: dropping client connection mid-response")
+            return True
+        return False
+
+    def take_slow_client(self) -> bool:
+        """Called by the load generator before sending a request; True
+        means "trickle the bytes" (a slow-loris client)."""
+        if self._slow_client_left > 0:
+            self._slow_client_left -= 1
+            return True
+        return False
+
+    def on_pool_submit(self) -> None:
+        """Called by the solve service before submitting work to the pool."""
+        if self._reject_spawn_left > 0:
+            self._reject_spawn_left -= 1
+            raise OSError("chaos: injected pool submission failure")
 
     def progress_killer(self, index: int) -> Callable | None:
         """SIGKILL hook for portfolio worker ``index``, or None.
@@ -242,6 +281,15 @@ class _NullChaos:
         pass
 
     def on_store_append(self, path) -> None:
+        pass
+
+    def take_drop_client(self) -> bool:
+        return False
+
+    def take_slow_client(self) -> bool:
+        return False
+
+    def on_pool_submit(self) -> None:
         pass
 
     def progress_killer(self, index: int) -> None:

@@ -13,7 +13,14 @@ cell) and hand them to a :class:`BatchRunner`, which
 """
 
 from repro.runner.batch import BatchReport, BatchRunner, execute_task
-from repro.runner.store import ResultStore, canonical_record, record_to_run, run_to_record
+from repro.runner.store import (
+    ResultStore,
+    ShardedResultStore,
+    canonical_record,
+    open_store,
+    record_to_run,
+    run_to_record,
+)
 from repro.runner.task import (
     Task,
     TaskError,
@@ -27,6 +34,8 @@ __all__ = [
     "default_hard_timeout",
     "resolve_pipeline_kwargs",
     "ResultStore",
+    "ShardedResultStore",
+    "open_store",
     "run_to_record",
     "record_to_run",
     "canonical_record",

@@ -11,9 +11,11 @@ Each completed task appends one JSON line keyed by the task fingerprint, so
 
 The store is hardened for concurrent writers and crashes:
 
-* appends are guarded by ``flock`` (where available) and written as one
-  buffered line, so two processes sharing a store cannot interleave
-  half-lines;
+* appends are guarded by ``flock`` (where available) and issued as a
+  *single* ``os.write`` of the fully-encoded line on an ``O_APPEND``
+  descriptor, so two processes sharing a store cannot interleave
+  half-lines and a process killed between "write" and "flush" cannot
+  leave a user-space-buffered torn record behind;
 * loading tolerates corruption *anywhere* in the file, not just the tail —
   a torn first line, or a partial record with a complete record glued
   behind it (the signature of an unlocked concurrent append), still yields
@@ -21,11 +23,19 @@ The store is hardened for concurrent writers and crashes:
 * unusable fragments are quarantined to a ``.corrupt`` sidecar file next to
   the store instead of being silently forgotten, so data loss is visible
   and diagnosable after the fact.
+
+:class:`ShardedResultStore` spreads the same format over per-fingerprint-
+prefix shard files inside a directory, so many concurrent writers contend
+on ``1/16`` of the keyspace each and no single JSONL file grows without
+bound; a legacy single-file store found at the directory path is migrated
+in place on first open.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 
@@ -39,6 +49,8 @@ try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
+
+logger = logging.getLogger(__name__)
 
 #: How many embedded-record start markers a corrupt line is probed at
 #: before the whole line is quarantined (bounds worst-case work on
@@ -214,31 +226,174 @@ class ResultStore:
 
     def put(self, fingerprint: str, run: InstanceRun,
             seed: int | None = None) -> dict:
-        """Persist one result; safe against concurrent writers.
+        """Persist one run result; safe against concurrent writers."""
+        return self.put_record(fingerprint,
+                               run_to_record(run, fingerprint, seed=seed))
 
-        The record travels as a single buffered line under an exclusive
-        ``flock`` (best effort where the platform lacks it), flushed —
-        and ``fsync``\\ ed when the store is ``durable`` — before the lock
-        drops, so interrupts lose at most the run currently being written
-        and parallel writers never interleave half-lines.
+    def put_record(self, fingerprint: str, record: dict) -> dict:
+        """Append one already-shaped record; safe against concurrent writers.
+
+        The record is encoded up front and issued as a **single**
+        ``os.write`` on an ``O_APPEND`` descriptor under an exclusive
+        ``flock`` (best effort where the platform lacks it), ``fsync``\\ ed
+        when the store is ``durable``.  There is no user-space buffer, so a
+        process killed at any instant — including "between write and
+        flush" — either lands the whole line or none of it; parallel
+        writers never interleave half-lines.
+
+        ``record`` must carry ``schema`` and ``task`` keys or a future
+        :meth:`_load` would silently skip it.
         """
-        record = run_to_record(run, fingerprint, seed=seed)
+        if record.get("schema") != SCHEMA_VERSION \
+                or record.get("task") != fingerprint:
+            raise StoreError(
+                f"record for {fingerprint[:12]} lacks schema/task keys; "
+                "it would be unloadable")
         get_chaos().on_store_append(self.path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                     0o644)
+        try:
             if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                fcntl.flock(fd, fcntl.LOCK_EX)
             try:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-                handle.flush()
+                os.write(fd, data)
                 if self.durable:
-                    os.fsync(handle.fileno())
+                    os.fsync(fd)
             finally:
                 if fcntl is not None:
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
         self._records[fingerprint] = record
         return record
 
     def runs(self) -> list[InstanceRun]:
         """All stored runs, in file order."""
         return [record_to_run(record) for record in self._records.values()]
+
+
+class ShardedResultStore:
+    """A directory of :class:`ResultStore` shards keyed by fingerprint prefix.
+
+    Fingerprints are hex digests, so the first ``prefix_len`` characters
+    spread records uniformly over ``16**prefix_len`` shard files
+    (``shard-0.jsonl`` … ``shard-f.jsonl`` by default).  Each shard is a
+    plain :class:`ResultStore`: flock'd single-write appends, torn-line
+    recovery, and a per-shard ``.corrupt`` quarantine sidecar all carry
+    over unchanged — concurrent writers simply contend on a sixteenth of
+    the keyspace instead of one file.
+
+    Opening a path that holds a **legacy single-file store** migrates it:
+    the old file is parsed (salvaging what its recovery logic can), moved
+    aside to ``<path>.legacy``, and its records are re-appended into the
+    new shard files, so existing caches keep hitting.
+    """
+
+    def __init__(self, root: str | Path, durable: bool = False,
+                 prefix_len: int = 1) -> None:
+        if prefix_len < 1:
+            raise ValueError("prefix_len must be >= 1")
+        self.root = Path(root)
+        self.durable = durable
+        self.prefix_len = prefix_len
+        self._shards: dict[str, ResultStore] = {}
+        legacy: ResultStore | None = None
+        if self.root.is_file():
+            legacy = self._migrate_legacy()
+        self.root.mkdir(parents=True, exist_ok=True)
+        for path in sorted(self.root.glob("shard-*.jsonl")):
+            self._shards[path.stem.partition("-")[2]] = ResultStore(
+                path, durable=durable)
+        if legacy is not None:
+            for fingerprint, record in legacy._records.items():
+                self._shard_for(fingerprint).put_record(fingerprint, record)
+
+    def _migrate_legacy(self) -> ResultStore:
+        """Load the single-file store at :attr:`root` and move it aside."""
+        legacy = ResultStore(self.root, durable=self.durable)
+        backup = self.root.with_name(self.root.name + ".legacy")
+        self.root.rename(backup)
+        if legacy.quarantine_path.exists():
+            legacy.quarantine_path.rename(
+                backup.with_name(backup.name + ".corrupt"))
+        logger.info("migrated legacy store %s -> %s (%d records)",
+                    self.root, backup, len(legacy))
+        return legacy
+
+    def _shard_key(self, fingerprint: str) -> str:
+        key = fingerprint[:self.prefix_len].lower()
+        # Fingerprints are sha256 hex in practice; anything else (tests,
+        # future keys) is folded onto the same hex keyspace.
+        if not key or any(ch not in "0123456789abcdef" for ch in key):
+            key = hashlib.sha256(
+                fingerprint.encode("utf-8")).hexdigest()[:self.prefix_len]
+        return key
+
+    def _shard_for(self, fingerprint: str) -> ResultStore:
+        key = self._shard_key(fingerprint)
+        shard = self._shards.get(key)
+        if shard is None:
+            shard = ResultStore(self.root / f"shard-{key}.jsonl",
+                                durable=self.durable)
+            self._shards[key] = shard
+        return shard
+
+    @property
+    def shard_paths(self) -> list[Path]:
+        """Paths of every shard file seen so far, sorted."""
+        return sorted(shard.path for shard in self._shards.values())
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards.values())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._shard_for(fingerprint)
+
+    @property
+    def skipped_lines(self) -> int:
+        """Corrupt / incompatible lines ignored while loading, all shards."""
+        return sum(s.skipped_lines for s in self._shards.values())
+
+    @property
+    def quarantined(self) -> int:
+        """Corrupt fragments quarantined while loading, all shards."""
+        return sum(s.quarantined for s in self._shards.values())
+
+    def get_record(self, fingerprint: str) -> dict | None:
+        return self._shard_for(fingerprint).get_record(fingerprint)
+
+    def get(self, fingerprint: str) -> InstanceRun | None:
+        return self._shard_for(fingerprint).get(fingerprint)
+
+    def put(self, fingerprint: str, run: InstanceRun,
+            seed: int | None = None) -> dict:
+        return self._shard_for(fingerprint).put(fingerprint, run, seed=seed)
+
+    def put_record(self, fingerprint: str, record: dict) -> dict:
+        return self._shard_for(fingerprint).put_record(fingerprint, record)
+
+    def runs(self) -> list[InstanceRun]:
+        """All stored runs: shard order (sorted), then file order."""
+        out: list[InstanceRun] = []
+        for key in sorted(self._shards):
+            out.extend(self._shards[key].runs())
+        return out
+
+
+def open_store(path: str | Path,
+               durable: bool = False) -> ResultStore | ShardedResultStore:
+    """Open ``path`` as whichever store flavour it holds.
+
+    An existing directory — or a fresh path with no ``.jsonl`` suffix —
+    opens sharded (a legacy single *file* at the path migrates, see
+    :class:`ShardedResultStore`); an existing file or a ``*.jsonl`` path
+    opens as a classic single-file :class:`ResultStore`.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return ShardedResultStore(path, durable=durable)
+    if path.suffix == ".jsonl" and not path.is_dir():
+        return ResultStore(path, durable=durable)
+    return ShardedResultStore(path, durable=durable)
